@@ -1,0 +1,52 @@
+// Shared helpers for the figure/table reproduction benches: canonical
+// cluster configurations (scaled versions of Table I) and console table
+// printing.
+
+#ifndef VEDB_BENCH_BENCH_UTIL_H_
+#define VEDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/cluster.h"
+
+namespace vedb::bench {
+
+/// Cluster preset approximating Table I, scaled for simulation. `astore`
+/// selects the PMem log backend; `ebp_capacity` of 0 disables the EBP.
+inline workload::ClusterOptions MakeClusterOptions(bool astore_log,
+                                                   uint64_t ebp_capacity,
+                                                   uint64_t seed = 2023) {
+  workload::ClusterOptions opts;
+  opts.seed = seed;
+  opts.use_astore_log = astore_log;
+  opts.enable_ebp = ebp_capacity > 0;
+  opts.astore_server.pmem_capacity = 192 * kMiB;
+  opts.astore_log.ring.segment_size = 1 * kMiB;
+  opts.astore_log.ring.ring_size = 10;
+  opts.ebp.capacity = ebp_capacity;
+  opts.ebp.segment_size = 2 * kMiB;
+  return opts;
+}
+
+inline void PrintHeader(const std::string& title) {
+  printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    printf("%-*s", width, cell.c_str());
+  }
+  printf("\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace vedb::bench
+
+#endif  // VEDB_BENCH_BENCH_UTIL_H_

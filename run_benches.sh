@@ -1,0 +1,14 @@
+#!/bin/bash
+# Runs every figure/table bench sequentially; per-bench logs in results/.
+set -u
+cd "$(dirname "$0")"
+for b in bench_table2_log_micro bench_fig6_7_tpcc bench_fig8_order_processing bench_fig9_advertisement \
+         bench_fig10_tpcch_ap_impact bench_fig11_ebp_query_speedup bench_fig12_ebp_size \
+         bench_fig13_sysbench_cost bench_fig14_pushdown \
+         bench_ablation_rdma_write_path bench_ablation_segmentring bench_ablation_ebp_policy bench_ablation_costbased_pq \
+         bench_micro_components; do
+  echo "=== running $b ==="
+  timeout 900 ./build/bench/$b > results/$b.txt 2>&1
+  echo "$b exit=$?"
+done
+echo ALL_BENCHES_DONE

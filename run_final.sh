@@ -1,0 +1,21 @@
+#!/bin/bash
+set -u
+cd "$(dirname "$0")"
+echo "== ctest =="
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3
+echo "== benches =="
+rm -f results/*.txt
+./run_benches.sh
+# Assemble the combined bench output in suite order.
+: > /root/repo/bench_output.txt
+for b in bench_table2_log_micro bench_fig6_7_tpcc bench_fig8_order_processing bench_fig9_advertisement \
+         bench_fig10_tpcch_ap_impact bench_fig11_ebp_query_speedup bench_fig12_ebp_size \
+         bench_fig13_sysbench_cost bench_fig14_pushdown \
+         bench_ablation_rdma_write_path bench_ablation_segmentring bench_ablation_ebp_policy \
+         bench_ablation_costbased_pq bench_micro_components; do
+  if [ -f results/$b.txt ]; then
+    cat results/$b.txt >> /root/repo/bench_output.txt
+    echo >> /root/repo/bench_output.txt
+  fi
+done
+echo FINAL_RUN_DONE

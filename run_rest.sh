@@ -1,0 +1,31 @@
+#!/bin/bash
+# Remainder of the final collection: tests, the benches not yet produced,
+# and assembly of bench_output.txt from all per-bench results.
+cd /root/repo
+: > results/rest.log
+echo "== build ==" >> results/rest.log
+cmake --build build >> results/rest.log 2>&1 || echo BUILD_FAILED >> results/rest.log
+echo "== ctest ==" >> results/rest.log
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt | tail -3 >> results/rest.log
+for b in bench_fig6_7_tpcc bench_fig13_sysbench_cost bench_fig14_pushdown \
+         bench_ablation_rdma_write_path bench_ablation_segmentring \
+         bench_ablation_ebp_policy bench_ablation_costbased_pq \
+         bench_micro_components; do
+  s=$SECONDS
+  timeout 1800 ./build/bench/$b > results/$b.txt 2>&1
+  echo "$b exit=$? wall=$((SECONDS-s))s" >> results/rest.log
+done
+: > /root/repo/bench_output.txt
+for b in bench_table2_log_micro bench_fig6_7_tpcc bench_fig8_order_processing bench_fig9_advertisement \
+         bench_fig10_tpcch_ap_impact bench_fig11_ebp_query_speedup bench_fig12_ebp_size \
+         bench_fig13_sysbench_cost bench_fig14_pushdown \
+         bench_ablation_rdma_write_path bench_ablation_segmentring bench_ablation_ebp_policy \
+         bench_ablation_costbased_pq bench_micro_components; do
+  if [ -s results/$b.txt ]; then
+    cat results/$b.txt >> /root/repo/bench_output.txt
+    echo >> /root/repo/bench_output.txt
+  else
+    echo "MISSING: $b" >> results/rest.log
+  fi
+done
+echo REST_DONE >> results/rest.log

@@ -1,0 +1,257 @@
+#include "astore/client.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace vedb::astore {
+
+AStoreClient::AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
+                           net::RdmaFabric* fabric, sim::SimNode* cm_node,
+                           sim::SimNode* client_node, ClientId client_id,
+                           const Options& options)
+    : env_(env),
+      rpc_(rpc),
+      fabric_(fabric),
+      cm_node_(cm_node),
+      client_node_(client_node),
+      client_id_(client_id),
+      options_(options) {}
+
+Status AStoreClient::Connect() { return RenewLease(); }
+
+Status AStoreClient::RenewLease() {
+  std::string req, resp;
+  PutFixed64(&req, client_id_);
+  VEDB_RETURN_IF_ERROR(
+      rpc_->Call(client_node_, cm_node_, "cm.lease", Slice(req), &resp));
+  if (resp.size() < 8) return Status::Corruption("bad lease response");
+  lease_expiry_.store(DecodeFixed64(resp.data()));
+  return Status::OK();
+}
+
+Result<SegmentHandlePtr> AStoreClient::CreateSegment(uint64_t size,
+                                                     int replication) {
+  if (replication <= 0) replication = options_.default_replication;
+  std::string req, resp;
+  PutFixed64(&req, client_id_);
+  PutFixed64(&req, size);
+  PutFixed32(&req, static_cast<uint32_t>(replication));
+  VEDB_RETURN_IF_ERROR(rpc_->Call(client_node_, cm_node_, "cm.create_segment",
+                                  Slice(req), &resp));
+  Slice in(resp);
+  SegmentRoute route;
+  if (!DecodeSegmentRoute(&in, &route)) {
+    return Status::Corruption("bad create response");
+  }
+  auto handle = std::make_shared<SegmentHandle>(std::move(route));
+  std::lock_guard<std::mutex> lk(mu_);
+  open_[handle->id()] = handle;
+  return handle;
+}
+
+Result<SegmentHandlePtr> AStoreClient::OpenSegment(SegmentId id) {
+  std::string req, resp;
+  PutFixed64(&req, id);
+  VEDB_RETURN_IF_ERROR(
+      rpc_->Call(client_node_, cm_node_, "cm.get_route", Slice(req), &resp));
+  Slice in(resp);
+  SegmentRoute route;
+  if (!DecodeSegmentRoute(&in, &route)) {
+    return Status::Corruption("bad route response");
+  }
+  auto handle = std::make_shared<SegmentHandle>(std::move(route));
+  std::lock_guard<std::mutex> lk(mu_);
+  open_[handle->id()] = handle;
+  return handle;
+}
+
+Status AStoreClient::Append(const SegmentHandlePtr& handle, Slice data,
+                            uint64_t* offset_out) {
+  uint64_t offset;
+  {
+    // Reserve the cursor under a short lock; the RDMA fan-out happens
+    // outside it so concurrent appends overlap in virtual time.
+    std::lock_guard<std::mutex> lk(handle->mu_);
+    if (handle->stale_) return Status::Stale("segment route is stale");
+    if (handle->frozen_) return Status::Unavailable("segment frozen");
+    if (handle->write_offset_ + data.size() > handle->route_.size) {
+      return Status::NoSpace("segment full");
+    }
+    offset = handle->write_offset_;
+    handle->write_offset_ += data.size();
+  }
+  Status s = WriteInternal(handle, offset, data);
+  if (s.ok() && offset_out != nullptr) *offset_out = offset;
+  return s;
+}
+
+Status AStoreClient::WriteAt(const SegmentHandlePtr& handle, uint64_t offset,
+                             Slice data) {
+  {
+    std::lock_guard<std::mutex> lk(handle->mu_);
+    if (handle->stale_) return Status::Stale("segment route is stale");
+    if (handle->frozen_) return Status::Unavailable("segment frozen");
+    if (offset + data.size() > handle->route_.size) {
+      return Status::InvalidArgument("write past segment end");
+    }
+  }
+  return WriteInternal(handle, offset, data);
+}
+
+Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
+                                   uint64_t offset, Slice data) {
+  // Zombie fencing: a client whose lease lapsed must not touch PMem that
+  // may have been reclaimed for another client (Section IV-C).
+  if (options_.enforce_lease && !LeaseValid()) {
+    return Status::LeaseExpired("client lease expired");
+  }
+
+  // SDK software cost (WR construction, segment-meta update, CQ polling).
+  client_node_->cpu()->Access(0, options_.write_sdk_overhead);
+
+  SegmentRoute route = handle->route();
+
+  // io-meta: the offset/length pair that makes the effective data length
+  // discoverable after a failure (Section IV-B).
+  std::string io_meta;
+  PutFixed64(&io_meta, offset);
+  PutFixed64(&io_meta, data.size());
+
+  // One chain per replica: WRITE payload + WRITE io-meta + flush READ,
+  // "chained together to reduce MMIO operations".
+  std::vector<std::vector<net::RdmaWorkRequest>> chains;
+  chains.reserve(route.replicas.size());
+  for (const auto& loc : route.replicas) {
+    std::vector<net::RdmaWorkRequest> chain(3);
+    chain[0].kind = net::RdmaWorkRequest::Kind::kWrite;
+    chain[0].region = loc.region;
+    chain[0].offset = loc.base_offset + offset;
+    chain[0].write_data = data;
+    chain[1].kind = net::RdmaWorkRequest::Kind::kWrite;
+    chain[1].region = loc.region;
+    chain[1].offset = loc.io_meta_offset;
+    chain[1].write_data = Slice(io_meta);
+    chain[2].kind = net::RdmaWorkRequest::Kind::kRead;
+    chain[2].region = loc.region;
+    chain[2].offset = loc.io_meta_offset;
+    chain[2].read_len = 0;  // flush-only READ
+    chains.push_back(std::move(chain));
+  }
+
+  auto statuses = fabric_->PostChainMulti(client_node_, chains);
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      // "If any copy fails, it returns a failure to the application and
+      // freezes the segment with the current effective length."
+      std::lock_guard<std::mutex> lk(handle->mu_);
+      handle->frozen_ = true;
+      return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
+                          uint64_t len, char* out) {
+  {
+    std::lock_guard<std::mutex> lk(handle->mu_);
+    if (handle->stale_) return Status::Stale("segment route is stale");
+    if (offset + len > handle->route_.size) {
+      return Status::InvalidArgument("read past segment end");
+    }
+  }
+  client_node_->cpu()->Access(0, options_.read_sdk_overhead);
+  SegmentRoute route = handle->route();
+  if (route.replicas.empty()) return Status::Unavailable("no replicas");
+
+  // "Selects an online copy to read through one-sided RDMA READ."
+  const uint64_t start = read_rr_.fetch_add(1);
+  for (size_t i = 0; i < route.replicas.size(); ++i) {
+    const auto& loc = route.replicas[(start + i) % route.replicas.size()];
+    sim::SimNode* node = env_->GetNode(loc.node);
+    if (!node->alive()) continue;
+    return fabric_->Read(client_node_, loc.region, loc.base_offset + offset,
+                         len, out);
+  }
+  return Status::Unavailable("no live replica for segment");
+}
+
+Status AStoreClient::Delete(const SegmentHandlePtr& handle) {
+  std::string req, resp;
+  PutFixed64(&req, client_id_);
+  PutFixed64(&req, handle->id());
+  Status s = rpc_->Call(client_node_, cm_node_, "cm.delete_segment",
+                        Slice(req), &resp);
+  {
+    std::lock_guard<std::mutex> lk(handle->mu_);
+    handle->stale_ = true;
+    handle->frozen_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    open_.erase(handle->id());
+  }
+  return s;
+}
+
+void AStoreClient::RefreshRoutes() {
+  std::vector<SegmentHandlePtr> handles;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = open_.begin(); it != open_.end();) {
+      if (SegmentHandlePtr h = it->second.lock()) {
+        handles.push_back(std::move(h));
+        ++it;
+      } else {
+        it = open_.erase(it);
+      }
+    }
+  }
+  for (const SegmentHandlePtr& handle : handles) {
+    std::string req, resp;
+    PutFixed64(&req, handle->id());
+    Status s =
+        rpc_->Call(client_node_, cm_node_, "cm.get_route", Slice(req), &resp);
+    std::lock_guard<std::mutex> lk(handle->mu_);
+    if (s.IsNotFound()) {
+      // Deleted (possibly reclaimed): stop using it before the server's
+      // cleaning deadline can hand the space to someone else.
+      handle->stale_ = true;
+      handle->frozen_ = true;
+      continue;
+    }
+    if (!s.ok()) continue;  // CM unreachable: keep the cached route
+    Slice in(resp);
+    SegmentRoute route;
+    if (!DecodeSegmentRoute(&in, &route)) continue;
+    if (route.owner != client_id_) {
+      handle->stale_ = true;
+      handle->frozen_ = true;
+      continue;
+    }
+    if (route.epoch != handle->route_.epoch) {
+      handle->route_ = std::move(route);
+    }
+  }
+}
+
+void AStoreClient::BackgroundLoop() {
+  Timestamp last_lease = 0;
+  while (!shutdown_.load()) {
+    env_->clock()->SleepFor(options_.route_refresh_interval);
+    RefreshRoutes();
+    Timestamp now = env_->clock()->Now();
+    if (now - last_lease >= options_.lease_renew_interval) {
+      RenewLease();
+      last_lease = now;
+    }
+  }
+}
+
+void AStoreClient::StartBackground(sim::ActorGroup* group) {
+  group->Spawn([this] { BackgroundLoop(); });
+}
+
+}  // namespace vedb::astore

@@ -1,0 +1,178 @@
+// AStore Client (Section IV). The access module embedded in DBEngine's
+// storage SDK: create/open/write/read/delete over append-only segments,
+// replica fan-out with chained one-sided RDMA (WRITE payload + WRITE io-meta
+// + READ flush), cached routes refreshed from the CM, and a client lease
+// that fences zombie writers.
+//
+// Thread safety: all public methods are safe to call concurrently. No lock
+// is ever held across a virtual-time wait.
+
+#ifndef VEDB_ASTORE_CLIENT_H_
+#define VEDB_ASTORE_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "astore/segment.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/rdma.h"
+#include "net/rpc.h"
+#include "sim/env.h"
+
+namespace vedb::astore {
+
+/// Client-side state of one open segment. Obtained from AStoreClient;
+/// shareable across threads.
+class SegmentHandle {
+ public:
+  explicit SegmentHandle(SegmentRoute route) : route_(std::move(route)) {}
+
+  SegmentId id() const { return route_.id; }
+  uint64_t size() const { return route_.size; }
+
+  /// Bytes appended so far (the write cursor).
+  uint64_t write_offset() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return write_offset_;
+  }
+
+  /// A frozen segment rejects writes; reads still work. Set after a replica
+  /// write failure (the paper freezes the segment with its effective
+  /// length) or when the route disappears.
+  bool frozen() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return frozen_;
+  }
+
+  /// True when the CM no longer routes this segment (deleted/reclaimed).
+  bool stale() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stale_;
+  }
+
+  SegmentRoute route() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return route_;
+  }
+
+ private:
+  friend class AStoreClient;
+
+  mutable std::mutex mu_;
+  SegmentRoute route_;
+  uint64_t write_offset_ = 0;
+  bool frozen_ = false;
+  bool stale_ = false;
+};
+
+using SegmentHandlePtr = std::shared_ptr<SegmentHandle>;
+
+class AStoreClient {
+ public:
+  struct Options {
+    /// Default replication for new segments (log: 3, EBP pages: 1).
+    int default_replication = 3;
+    /// How often cached routes are re-validated against the CM. Must be
+    /// much shorter than the servers' cleaning interval (Section IV-C).
+    Duration route_refresh_interval = 50 * kMillisecond;
+    /// How often the client lease is renewed.
+    Duration lease_renew_interval = 500 * kMillisecond;
+    /// Client software cost per write (WR construction, CQ polling,
+    /// segment-meta update). Calibrated against Table II.
+    Duration write_sdk_overhead = 55 * kMicrosecond;
+    /// Client software cost per read.
+    Duration read_sdk_overhead = 4 * kMicrosecond;
+    /// Reject writes when the local lease has expired.
+    bool enforce_lease = true;
+  };
+
+  AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
+               net::RdmaFabric* fabric, sim::SimNode* cm_node,
+               sim::SimNode* client_node, ClientId client_id,
+               const Options& options);
+
+  /// Acquires the initial lease from the CM.
+  Status Connect();
+
+  /// Creates a new segment (RPC to the CM; "takes a few milliseconds").
+  Result<SegmentHandlePtr> CreateSegment(uint64_t size, int replication = 0);
+
+  /// Opens an existing segment by id (fetches the route).
+  Result<SegmentHandlePtr> OpenSegment(SegmentId id);
+
+  /// Appends `data` at the handle's write cursor; all replicas must ack.
+  /// On any replica failure the segment is frozen and an error returned —
+  /// the caller opens a new segment and retries there (Section IV-B).
+  /// Returns the start offset via `offset_out`.
+  Status Append(const SegmentHandlePtr& handle, Slice data,
+                uint64_t* offset_out);
+
+  /// Writes `data` at an explicit offset (used for SegmentRing headers and
+  /// EBP slot placement). Subject to the same lease/freeze checks.
+  Status WriteAt(const SegmentHandlePtr& handle, uint64_t offset, Slice data);
+
+  /// Reads `len` bytes at `offset` from one live replica via one-sided
+  /// RDMA READ.
+  Status Read(const SegmentHandlePtr& handle, uint64_t offset, uint64_t len,
+              char* out);
+
+  /// Deletes the segment cluster-wide and marks the handle stale.
+  Status Delete(const SegmentHandlePtr& handle);
+
+  /// One route-refresh pass over all open segments (also run by the
+  /// background task): picks up epoch changes, deletions, and ownership
+  /// changes.
+  void RefreshRoutes();
+
+  /// Renews the lease once (also run by the background task).
+  Status RenewLease();
+
+  /// Local lease validity check.
+  bool LeaseValid() const {
+    return lease_expiry_.load() > env_->clock()->Now();
+  }
+
+  /// Expires the local lease immediately (test hook for the zombie-writer
+  /// scenario).
+  void ExpireLeaseForTest() { lease_expiry_.store(0); }
+
+  /// Starts route-refresh and lease-renewal actors.
+  void StartBackground(sim::ActorGroup* group);
+  void Shutdown() { shutdown_.store(true); }
+
+  ClientId client_id() const { return client_id_; }
+  sim::SimNode* node() { return client_node_; }
+  net::RpcTransport* rpc() { return rpc_; }
+  sim::SimEnvironment* env() { return env_; }
+
+ private:
+  Status WriteInternal(const SegmentHandlePtr& handle, uint64_t offset,
+                       Slice data);
+  void BackgroundLoop();
+
+  sim::SimEnvironment* env_;
+  net::RpcTransport* rpc_;
+  net::RdmaFabric* fabric_;
+  sim::SimNode* cm_node_;
+  sim::SimNode* client_node_;
+  ClientId client_id_;
+  Options options_;
+
+  std::atomic<Timestamp> lease_expiry_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex mu_;
+  // Open handles tracked for the background refresh, keyed by segment id.
+  std::map<SegmentId, std::weak_ptr<SegmentHandle>> open_;
+  std::atomic<uint64_t> read_rr_{0};  // round-robin replica cursor for reads
+};
+
+}  // namespace vedb::astore
+
+#endif  // VEDB_ASTORE_CLIENT_H_

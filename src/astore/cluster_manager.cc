@@ -1,0 +1,354 @@
+#include "astore/cluster_manager.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace vedb::astore {
+
+ClusterManager::ClusterManager(sim::SimEnvironment* env,
+                               net::RpcTransport* rpc, sim::SimNode* node,
+                               const Options& options)
+    : env_(env), rpc_(rpc), node_(node), options_(options) {
+  RegisterRpcServices();
+}
+
+void ClusterManager::RegisterServer(AStoreServer* server) {
+  std::lock_guard<std::mutex> lk(mu_);
+  servers_[server->node()->name()] = ServerInfo{server, false};
+}
+
+void ClusterManager::StartBackground(sim::ActorGroup* group) {
+  group->Spawn([this] { HealthLoop(); });
+}
+
+void ClusterManager::HealthLoop() {
+  while (!shutdown_.load()) {
+    env_->clock()->SleepFor(options_.heartbeat_period);
+    CheckHealthNow();
+  }
+}
+
+void ClusterManager::CheckHealthNow() {
+  // Snapshot transitions under the lock, act on them outside it (rebuild
+  // issues RPCs that advance virtual time).
+  std::vector<std::string> newly_dead;
+  std::vector<AStoreServer*> returned;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [name, info] : servers_) {
+      const bool alive = info.server->node()->alive();
+      if (!alive && !info.marked_dead) {
+        info.marked_dead = true;
+        newly_dead.push_back(name);
+      } else if (alive && info.marked_dead) {
+        info.marked_dead = false;
+        returned.push_back(info.server);
+      }
+    }
+  }
+  for (const std::string& name : newly_dead) {
+    RebuildSegmentsOf(name);
+  }
+  // "If the failed node returns to the cluster, the segments on it are
+  // considered stale and will be cleaned up by the CM" (Section IV-C) —
+  // EXCEPT segments that lost their only replica with the node: those are
+  // re-attached from the returning server's persistent PMem copy (the
+  // paper's local-recovery future-work item).
+  for (AStoreServer* server : returned) {
+    std::vector<SegmentId> stale;
+    std::vector<SegmentId> reattach;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (const auto& [id, route] : routes_) {
+        bool routed_here = false;
+        for (const auto& loc : route.replicas) {
+          if (loc.node == server->node()->name()) routed_here = true;
+        }
+        if (routed_here || !server->HasSegment(id)) continue;
+        if (route.replicas.empty()) {
+          reattach.push_back(id);
+        } else {
+          stale.push_back(id);
+        }
+      }
+    }
+    for (SegmentId id : stale) {
+      std::string req, resp;
+      PutFixed64(&req, id);
+      rpc_->Call(node_, server->node(), "astore.release", Slice(req), &resp);
+    }
+    for (SegmentId id : reattach) {
+      auto loc = server->LocationOf(id);
+      if (!loc.ok()) continue;
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = routes_.find(id);
+      if (it == routes_.end() || !it->second.replicas.empty()) continue;
+      it->second.replicas.push_back(*loc);
+      it->second.epoch++;
+    }
+  }
+}
+
+void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
+  // Collect segments that lost a replica.
+  struct RebuildJob {
+    SegmentId id;
+    uint64_t size;
+    ReplicaLocation source;  // a healthy replica to copy from
+  };
+  std::vector<RebuildJob> jobs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, route] : routes_) {
+      auto it = std::find_if(
+          route.replicas.begin(), route.replicas.end(),
+          [&](const ReplicaLocation& l) { return l.node == dead_node; });
+      if (it == route.replicas.end()) continue;
+      route.replicas.erase(it);
+      route.epoch++;
+      if (options_.auto_rebuild && !route.replicas.empty()) {
+        jobs.push_back(RebuildJob{id, route.size, route.replicas.front()});
+      }
+    }
+  }
+
+  for (const RebuildJob& job : jobs) {
+    AStoreServer* target = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // Exclude nodes already carrying a replica.
+      std::vector<std::string> exclude;
+      auto rit = routes_.find(job.id);
+      if (rit == routes_.end()) continue;  // deleted meanwhile
+      for (const auto& loc : rit->second.replicas) exclude.push_back(loc.node);
+      auto picked = PickServersLocked(1, exclude);
+      if (!picked.ok()) continue;  // not enough healthy nodes; stay degraded
+      target = picked.value()[0];
+    }
+    // Ask the new server to pull the bytes from the healthy source.
+    std::string req, resp;
+    PutFixed64(&req, job.id);
+    PutFixed64(&req, job.size);
+    PutLengthPrefixedSlice(&req, Slice(job.source.node));
+    PutFixed64(&req, job.source.base_offset);
+    PutFixed32(&req, job.source.region.value);
+    Status s =
+        rpc_->Call(node_, target->node(), "astore.pull", Slice(req), &resp);
+    if (!s.ok()) {
+      VEDB_LOG(kWarn, "rebuild of segment %llu on %s failed: %s",
+               static_cast<unsigned long long>(job.id),
+               target->node()->name().c_str(), s.ToString().c_str());
+      continue;
+    }
+    Slice in(resp);
+    ReplicaLocation loc;
+    if (!DecodeReplicaLocation(&in, &loc)) continue;
+    std::lock_guard<std::mutex> lk(mu_);
+    auto rit = routes_.find(job.id);
+    if (rit == routes_.end()) continue;
+    rit->second.replicas.push_back(loc);
+    rit->second.epoch++;
+  }
+}
+
+Timestamp ClusterManager::AcquireLease(ClientId client) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Timestamp expiry = env_->clock()->Now() + options_.lease_duration;
+  leases_[client] = expiry;
+  return expiry;
+}
+
+bool ClusterManager::LeaseValid(ClientId client) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = leases_.find(client);
+  return it != leases_.end() && it->second > env_->clock()->Now();
+}
+
+Result<std::vector<AStoreServer*>> ClusterManager::PickServersLocked(
+    int count, const std::vector<std::string>& exclude) const {
+  // "The CM returns the appropriate nodes according to the capacity and
+  // load of the AStore Server nodes" (Section IV-A): order by free
+  // capacity, break ties by live segment count.
+  std::vector<AStoreServer*> candidates;
+  for (const auto& [name, info] : servers_) {
+    if (info.marked_dead || !info.server->node()->alive()) continue;
+    if (std::find(exclude.begin(), exclude.end(), name) != exclude.end()) {
+      continue;
+    }
+    candidates.push_back(info.server);
+  }
+  if (static_cast<int>(candidates.size()) < count) {
+    return Status::Unavailable("not enough healthy AStore servers");
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](AStoreServer* a, AStoreServer* b) {
+              const uint64_t fa = a->FreeCapacity(), fb = b->FreeCapacity();
+              if (fa != fb) return fa > fb;
+              return a->LiveSegmentCount() < b->LiveSegmentCount();
+            });
+  candidates.resize(count);
+  return candidates;
+}
+
+Result<SegmentRoute> ClusterManager::CreateSegment(sim::SimNode* rpc_client,
+                                                   ClientId client,
+                                                   uint64_t size,
+                                                   int replication) {
+  if (size == 0 || replication < 1) {
+    return Status::InvalidArgument("bad segment parameters");
+  }
+  SegmentRoute route;
+  std::vector<AStoreServer*> chosen;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    VEDB_ASSIGN_OR_RETURN(chosen, PickServersLocked(replication, {}));
+    route.id = next_segment_id_++;
+    route.size = size;
+    route.replication = replication;
+    route.epoch = 1;
+    route.owner = client;
+  }
+  // Allocate space on each chosen server ("the AStore Client sends an RPC
+  // message to apply for new storage space", Section IV-B — issued here on
+  // the caller's behalf, from its node).
+  for (AStoreServer* server : chosen) {
+    std::string req, resp;
+    PutFixed64(&req, route.id);
+    PutFixed64(&req, size);
+    Status s = rpc_->Call(rpc_client, server->node(), "astore.alloc",
+                          Slice(req), &resp);
+    if (!s.ok()) return s;
+    Slice in(resp);
+    ReplicaLocation loc;
+    if (!DecodeReplicaLocation(&in, &loc)) {
+      return Status::Corruption("bad alloc response");
+    }
+    route.replicas.push_back(loc);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  routes_[route.id] = route;
+  return route;
+}
+
+Result<SegmentRoute> ClusterManager::GetRoute(SegmentId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = routes_.find(id);
+  if (it == routes_.end()) return Status::NotFound("no such segment");
+  return it->second;
+}
+
+Status ClusterManager::ReclaimSegment(SegmentId id, ClientId new_owner) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = routes_.find(id);
+  if (it == routes_.end()) return Status::NotFound("no such segment");
+  it->second.owner = new_owner;
+  it->second.epoch++;
+  return Status::OK();
+}
+
+Status ClusterManager::DeleteSegment(sim::SimNode* rpc_client, ClientId client,
+                                     SegmentId id) {
+  SegmentRoute route;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = routes_.find(id);
+    if (it == routes_.end()) return Status::NotFound("no such segment");
+    if (it->second.owner != client) {
+      return Status::LeaseExpired("segment owned by another client");
+    }
+    route = it->second;
+    routes_.erase(it);
+  }
+  // Ask each replica to (defer-)release the space.
+  for (const auto& loc : route.replicas) {
+    std::string req, resp;
+    PutFixed64(&req, id);
+    sim::SimNode* server_node = env_->GetNode(loc.node);
+    rpc_->Call(rpc_client, server_node, "astore.release", Slice(req), &resp);
+  }
+  return Status::OK();
+}
+
+std::vector<SegmentId> ClusterManager::ListSegments(ClientId client) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SegmentId> out;
+  for (const auto& [id, route] : routes_) {
+    if (route.owner == client) out.push_back(id);
+  }
+  return out;
+}
+
+size_t ClusterManager::AliveServerCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [name, info] : servers_) {
+    if (!info.marked_dead && info.server->node()->alive()) n++;
+  }
+  return n;
+}
+
+void ClusterManager::RegisterRpcServices() {
+  rpc_->RegisterService(
+      node_, "cm.create_segment", [this](Slice req, std::string* resp) {
+        node_->cpu()->Access(0, options_.control_op_cost);
+        Slice raw;
+        if (!GetFixedBytes(&req, 8, &raw)) {
+          return Status::InvalidArgument("create req");
+        }
+        ClientId client = DecodeFixed64(raw.data());
+        if (!GetFixedBytes(&req, 8, &raw)) {
+          return Status::InvalidArgument("create req");
+        }
+        uint64_t size = DecodeFixed64(raw.data());
+        if (!GetFixedBytes(&req, 4, &raw)) {
+          return Status::InvalidArgument("create req");
+        }
+        int replication = static_cast<int>(DecodeFixed32(raw.data()));
+        VEDB_ASSIGN_OR_RETURN(
+            SegmentRoute route,
+            CreateSegment(node_, client, size, replication));
+        EncodeSegmentRoute(resp, route);
+        return Status::OK();
+      });
+  rpc_->RegisterService(
+      node_, "cm.get_route", [this](Slice req, std::string* resp) {
+        node_->cpu()->Access(0, options_.control_op_cost / 10);
+        Slice raw;
+        if (!GetFixedBytes(&req, 8, &raw)) {
+          return Status::InvalidArgument("route req");
+        }
+        VEDB_ASSIGN_OR_RETURN(SegmentRoute route,
+                              GetRoute(DecodeFixed64(raw.data())));
+        EncodeSegmentRoute(resp, route);
+        return Status::OK();
+      });
+  rpc_->RegisterService(
+      node_, "cm.delete_segment", [this](Slice req, std::string* resp) {
+        node_->cpu()->Access(0, options_.control_op_cost);
+        resp->clear();
+        Slice raw;
+        if (!GetFixedBytes(&req, 8, &raw)) {
+          return Status::InvalidArgument("delete req");
+        }
+        ClientId client = DecodeFixed64(raw.data());
+        if (!GetFixedBytes(&req, 8, &raw)) {
+          return Status::InvalidArgument("delete req");
+        }
+        return DeleteSegment(node_, client, DecodeFixed64(raw.data()));
+      });
+  rpc_->RegisterService(
+      node_, "cm.lease", [this](Slice req, std::string* resp) {
+        node_->cpu()->Access(0, options_.control_op_cost / 10);
+        Slice raw;
+        if (!GetFixedBytes(&req, 8, &raw)) {
+          return Status::InvalidArgument("lease req");
+        }
+        Timestamp expiry = AcquireLease(DecodeFixed64(raw.data()));
+        PutFixed64(resp, expiry);
+        return Status::OK();
+      });
+}
+
+}  // namespace vedb::astore

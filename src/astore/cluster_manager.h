@@ -1,0 +1,120 @@
+// AStore Cluster Manager (CM, Section IV-A). The central control-plane node:
+// storage-node registry and health tracking, segment routing, capacity/load
+// aware placement, client leases, and replica rebuild after node failure.
+// All interactions are RPC; the CM never touches the data plane.
+
+#ifndef VEDB_ASTORE_CLUSTER_MANAGER_H_
+#define VEDB_ASTORE_CLUSTER_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "astore/segment.h"
+#include "astore/server.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "net/rpc.h"
+#include "sim/env.h"
+
+namespace vedb::astore {
+
+class ClusterManager {
+ public:
+  struct Options {
+    /// Lease granted to clients; writes from a client whose lease expired
+    /// are rejected locally (Section IV-C's client-failure scenario).
+    Duration lease_duration = 2 * kSecond;
+    /// Heartbeat polling period of the CM's background task.
+    Duration heartbeat_period = 50 * kMillisecond;
+    /// A node missing heartbeats for this long is declared dead.
+    Duration failure_timeout = 200 * kMillisecond;
+    /// Rebuild lost replicas automatically when a node dies.
+    bool auto_rebuild = true;
+    /// CPU cost of processing one control request on the CM.
+    Duration control_op_cost = 200 * kMicrosecond;
+  };
+
+  /// The CM runs on `node` and registers its services there.
+  ClusterManager(sim::SimEnvironment* env, net::RpcTransport* rpc,
+                 sim::SimNode* node, const Options& options);
+
+  /// Adds a storage server to the cluster (registration).
+  void RegisterServer(AStoreServer* server);
+
+  /// Starts health-checking/rebuild background task.
+  void StartBackground(sim::ActorGroup* group);
+  void Shutdown() { shutdown_.store(true); }
+
+  sim::SimNode* node() { return node_; }
+
+  // ---- Direct (in-process) control API. The RPC services wrap these. ----
+
+  /// Grants or renews a client lease; returns the new expiry.
+  Timestamp AcquireLease(ClientId client);
+
+  /// True if `client` holds an unexpired lease.
+  bool LeaseValid(ClientId client) const;
+
+  /// Creates a segment of `size` bytes replicated `replication` times,
+  /// owned by `client`. Placement favours nodes with most free capacity.
+  /// `rpc_client` is the node issuing the allocation RPCs to the chosen
+  /// servers (the calling actor's node).
+  Result<SegmentRoute> CreateSegment(sim::SimNode* rpc_client,
+                                     ClientId client, uint64_t size,
+                                     int replication);
+
+  /// Returns the current route, or NotFound for deleted/unknown segments.
+  Result<SegmentRoute> GetRoute(SegmentId id) const;
+
+  /// Reassigns segment ownership (the "client B reclaims" scenario).
+  Status ReclaimSegment(SegmentId id, ClientId new_owner);
+
+  /// Deletes a segment: drops the route and asks replicas to release the
+  /// space (deferred on the servers).
+  Status DeleteSegment(sim::SimNode* rpc_client, ClientId client,
+                       SegmentId id);
+
+  /// Segment ids owned by `client`, ascending (creation order). Used by a
+  /// recovering DBEngine to rediscover its SegmentRing.
+  std::vector<SegmentId> ListSegments(ClientId client) const;
+
+  /// Number of live storage nodes.
+  size_t AliveServerCount() const;
+
+  /// Runs one health-check sweep immediately (test hook).
+  void CheckHealthNow();
+
+ private:
+  struct ServerInfo {
+    AStoreServer* server = nullptr;
+    bool marked_dead = false;
+  };
+
+  void RegisterRpcServices();
+  void HealthLoop();
+  void RebuildSegmentsOf(const std::string& dead_node);
+  Result<std::vector<AStoreServer*>> PickServersLocked(
+      int count, const std::vector<std::string>& exclude) const;
+
+  sim::SimEnvironment* env_;
+  net::RpcTransport* rpc_;
+  sim::SimNode* node_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ServerInfo> servers_;
+  std::map<SegmentId, SegmentRoute> routes_;
+  std::map<ClientId, Timestamp> leases_;
+  SegmentId next_segment_id_ = 1;
+
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace vedb::astore
+
+#endif  // VEDB_ASTORE_CLUSTER_MANAGER_H_

@@ -1,0 +1,99 @@
+// Shared AStore types: segment identifiers, replica locations, and routes.
+// The wire encodings for the control-plane RPCs live with these types so the
+// client, server, and cluster manager stay in sync.
+
+#ifndef VEDB_ASTORE_SEGMENT_H_
+#define VEDB_ASTORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/slice.h"
+#include "net/rdma.h"
+
+namespace vedb::astore {
+
+using SegmentId = uint64_t;
+using ClientId = uint64_t;
+
+/// Where one copy of a segment lives: a server node, its registered PMem
+/// region, and the byte offsets of the copy's data and io-meta areas.
+struct ReplicaLocation {
+  std::string node;
+  net::MemoryRegionId region;
+  uint64_t base_offset = 0;     // segment data area within the region
+  uint64_t io_meta_offset = 0;  // 32-byte io-meta slot for this segment
+};
+
+/// The routing entry for a segment, as handed out by the cluster manager.
+/// `epoch` is bumped whenever the replica set changes so that clients can
+/// detect stale cached routes.
+struct SegmentRoute {
+  SegmentId id = 0;
+  uint64_t size = 0;
+  int replication = 1;
+  uint64_t epoch = 0;
+  ClientId owner = 0;
+  std::vector<ReplicaLocation> replicas;
+};
+
+inline void EncodeReplicaLocation(std::string* out,
+                                  const ReplicaLocation& loc) {
+  PutLengthPrefixedSlice(out, Slice(loc.node));
+  PutFixed32(out, loc.region.value);
+  PutFixed64(out, loc.base_offset);
+  PutFixed64(out, loc.io_meta_offset);
+}
+
+inline bool DecodeReplicaLocation(Slice* in, ReplicaLocation* loc) {
+  Slice node;
+  if (!GetLengthPrefixedSlice(in, &node)) return false;
+  loc->node = node.ToString();
+  Slice raw;
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  loc->region.value = DecodeFixed32(raw.data());
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  loc->base_offset = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  loc->io_meta_offset = DecodeFixed64(raw.data());
+  return true;
+}
+
+inline void EncodeSegmentRoute(std::string* out, const SegmentRoute& route) {
+  PutFixed64(out, route.id);
+  PutFixed64(out, route.size);
+  PutFixed32(out, static_cast<uint32_t>(route.replication));
+  PutFixed64(out, route.epoch);
+  PutFixed64(out, route.owner);
+  PutFixed32(out, static_cast<uint32_t>(route.replicas.size()));
+  for (const auto& loc : route.replicas) EncodeReplicaLocation(out, loc);
+}
+
+inline bool DecodeSegmentRoute(Slice* in, SegmentRoute* route) {
+  Slice raw;
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  route->id = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  route->size = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  route->replication = static_cast<int>(DecodeFixed32(raw.data()));
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  route->epoch = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  route->owner = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  uint32_t n = DecodeFixed32(raw.data());
+  route->replicas.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    ReplicaLocation loc;
+    if (!DecodeReplicaLocation(in, &loc)) return false;
+    route->replicas.push_back(std::move(loc));
+  }
+  return true;
+}
+
+}  // namespace vedb::astore
+
+#endif  // VEDB_ASTORE_SEGMENT_H_

@@ -1,0 +1,149 @@
+// SegmentRing (Section V-A): the storage SDK's logical log container over
+// AStore — a fixed set of append-only segments arranged in a ring. Unlike
+// the BlobGroup it replaces, large writes are NOT split into small fixed
+// I/Os; a record goes to PMem in one chained RDMA write.
+//
+// Each segment starts with a small header carrying a status and the LSN of
+// the first record stored in it. On DBEngine crash, a binary search over
+// the headers locates the segment with the largest start LSN, and a forward
+// scan (CRC-validated) inside it finds the durable end of the log.
+
+#ifndef VEDB_ASTORE_SEGMENT_RING_H_
+#define VEDB_ASTORE_SEGMENT_RING_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "astore/client.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vedb::astore {
+
+/// One REDO record as recovered from the ring.
+struct LogRecord {
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+/// Segment header status values (Section V-A).
+enum class SegmentStatus : uint32_t {
+  kEmpty = 0,
+  kInUse = 1,
+  kFull = 2,
+  kError = 3,
+};
+
+class SegmentRing {
+ public:
+  struct Options {
+    /// Size of each segment (paper default 1GB; scaled for simulation).
+    uint64_t segment_size = 1 * kMiB;
+    /// Segments in the ring (paper typical: 50).
+    int ring_size = 8;
+    /// Replication factor for log segments (paper default: 3).
+    int replication = 3;
+  };
+
+  /// Header layout within each segment.
+  static constexpr uint64_t kHeaderSize = 64;
+  static constexpr uint32_t kHeaderMagic = 0x5245444F;  // "REDO"
+
+  /// Pre-creates all ring segments ("all segments ... are pre-created by
+  /// the storage SDK" upon DBEngine initialization).
+  static Result<std::unique_ptr<SegmentRing>> Create(AStoreClient* client,
+                                                     const Options& options);
+
+  /// A placement decision made under the ring lock; the I/O is performed
+  /// later by CommitReserved so reservations can be taken in LSN order
+  /// without serializing the writes.
+  struct Reservation {
+    SegmentHandlePtr seg;
+    uint64_t offset = 0;
+    size_t slot_idx = 0;
+    bool init_header = false;         // first record of a (re)used segment
+    SegmentHandlePtr to_mark_full;    // previous segment to stamp kFull
+    uint64_t full_start_lsn = 0;
+    size_t frame_size = 0;
+  };
+
+  /// Reserves ring space for a record of `payload_size` bytes carrying
+  /// `lsn`. Cheap (no I/O); call under the caller's LSN-assignment lock so
+  /// ring order matches LSN order.
+  Result<Reservation> Reserve(uint64_t lsn, size_t payload_size);
+
+  /// Performs the reserved write (header stamps + framed record). Durable
+  /// on all replicas when it returns OK. On replica failure the broken
+  /// segment is replaced and the record retried once on a fresh segment.
+  Status CommitReserved(const Reservation& reservation, uint64_t lsn,
+                        Slice payload);
+
+  /// Reserve + CommitReserved in one call (single-writer convenience).
+  Status AppendRecord(uint64_t lsn, Slice payload);
+
+  /// Result of crash recovery over a ring.
+  struct Recovered {
+    /// LSN to resume from (one past the last durable record); 0 if empty.
+    uint64_t next_lsn = 0;
+    /// All durable records at or after the requested LSN, in order.
+    std::vector<LogRecord> records;
+  };
+
+  /// Recovers ring state from the segments owned by `client_id` in the CM:
+  /// re-opens them, binary-searches headers for the largest start LSN, and
+  /// scans records with LSN >= `from_lsn`. A fresh SegmentRing positioned
+  /// for further appends can then be constructed with Create (new ring) or
+  /// Attach.
+  static Result<Recovered> Recover(AStoreClient* client,
+                                   const std::vector<SegmentId>& segment_ids,
+                                   uint64_t from_lsn, const Options& options);
+
+  /// Segment ids currently in the ring, ring order.
+  std::vector<SegmentId> segment_ids() const;
+
+  /// Number of segment-replacement events (frozen segments swapped out).
+  uint64_t replaced_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return replaced_;
+  }
+
+ private:
+  SegmentRing(AStoreClient* client, Options options,
+              std::vector<SegmentHandlePtr> segments)
+      : client_(client),
+        options_(options),
+        segments_(std::move(segments)),
+        slot_start_lsn_(segments_.size(), 0) {}
+
+  static std::string EncodeHeader(SegmentStatus status, uint64_t start_lsn);
+  static bool DecodeHeader(Slice in, SegmentStatus* status,
+                           uint64_t* start_lsn);
+  static std::string FrameRecord(uint64_t lsn, Slice payload);
+
+  /// Scans one segment's records, appending those with lsn >= from_lsn.
+  /// Returns the LSN one past the last valid record (0 if none).
+  static Result<uint64_t> ScanSegment(AStoreClient* client,
+                                      const SegmentHandlePtr& seg,
+                                      uint64_t from_lsn, uint64_t start_lsn,
+                                      std::vector<LogRecord>* out);
+
+  Status ReplaceSegmentSlot(size_t idx, const SegmentHandlePtr& broken);
+
+  AStoreClient* client_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<SegmentHandlePtr> segments_;
+  std::vector<uint64_t> slot_start_lsn_;
+  size_t cur_idx_ = 0;
+  uint64_t cur_offset_ = kHeaderSize;
+  bool cur_initialized_ = false;  // header written for current segment
+  uint64_t replaced_ = 0;
+};
+
+}  // namespace vedb::astore
+
+#endif  // VEDB_ASTORE_SEGMENT_RING_H_

@@ -1,0 +1,135 @@
+// Append-only replicated blob storage over simulated SSD boxes — the
+// substrate veDB's original LogStore is built on (Section III of the paper).
+// Every access goes through the RPC plane and pays kernel/scheduling costs,
+// in contrast to AStore's one-sided RDMA path.
+
+#ifndef VEDB_BLOB_BLOB_STORE_H_
+#define VEDB_BLOB_BLOB_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/rpc.h"
+#include "sim/env.h"
+
+namespace vedb::blob {
+
+using BlobId = uint64_t;
+
+/// A cluster of SSD data servers exposing replicated append-only blobs.
+/// Thread safe.
+class BlobStoreCluster {
+ public:
+  struct Options {
+    /// Copies of each blob (the paper deploys three or six).
+    int replication = 3;
+    /// Maximum size of one blob.
+    uint64_t blob_capacity = 16 * kMiB;
+  };
+
+  /// `data_nodes` are the SSD boxes; services are registered on each.
+  BlobStoreCluster(sim::SimEnvironment* env, net::RpcTransport* rpc,
+                   std::vector<sim::SimNode*> data_nodes,
+                   const Options& options);
+
+  /// Allocates a new blob replicated across `replication` nodes.
+  Result<BlobId> CreateBlob(sim::SimNode* client);
+
+  /// Appends `data` to the blob on every replica; acknowledges only when all
+  /// live replicas have persisted it (the paper's LogStore acks after
+  /// replication). Returns the start offset of the data via `offset_out`.
+  Status Append(sim::SimNode* client, BlobId id, Slice data,
+                uint64_t* offset_out);
+
+  /// Reads `len` bytes at `offset` from one live replica.
+  Status Read(sim::SimNode* client, BlobId id, uint64_t offset, uint64_t len,
+              std::string* out);
+
+  /// Current length of the blob (client-visible committed length).
+  Result<uint64_t> Length(BlobId id) const;
+
+  /// Replica nodes of a blob (empty if unknown). Used by BlobGroup to build
+  /// one scatter batch covering several chunks.
+  std::vector<sim::SimNode*> ReplicasOf(BlobId id) const;
+
+  net::RpcTransport* rpc() const { return rpc_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Blob {
+    std::vector<sim::SimNode*> replicas;
+    uint64_t length = 0;
+    // Replica contents keyed by node name, kept separately so a dead node's
+    // copy can lag or be lost realistically.
+    std::map<std::string, std::string> data;
+  };
+
+  Status HandleAppend(sim::SimNode* node, Slice request, std::string* response,
+                      Timestamp start, Timestamp* done);
+  Status HandleRead(sim::SimNode* node, Slice request, std::string* response);
+
+  sim::SimEnvironment* env_;
+  net::RpcTransport* rpc_;
+  std::vector<sim::SimNode*> data_nodes_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::map<BlobId, Blob> blobs_;
+  BlobId next_blob_id_ = 1;
+  size_t next_node_ = 0;  // round-robin placement cursor
+};
+
+/// BlobGroup: the storage SDK's logical container over several blobs
+/// (Section III). Large appends are split into fixed-size physical I/Os
+/// executed round-robin across the group's blobs in parallel; each physical
+/// I/O is `io_size` bytes regardless of payload (small appends are padded,
+/// which is the fixed-size-request model the paper describes).
+class BlobGroup {
+ public:
+  struct Options {
+    int blobs_per_group = 4;
+    uint64_t io_size = 8 * kKiB;
+  };
+
+  /// Creates the group's blobs up front.
+  static Result<std::unique_ptr<BlobGroup>> Create(BlobStoreCluster* cluster,
+                                                   sim::SimNode* client,
+                                                   const Options& options);
+
+  /// Appends `data` to the logical stream. The payload occupies whole
+  /// io_size chunks; returns the starting logical offset via `offset_out`.
+  Status Append(Slice data, uint64_t* offset_out);
+
+  /// Reads `len` bytes starting at a logical offset previously returned by
+  /// Append (plus any in-payload displacement within the same append).
+  Status Read(uint64_t offset, uint64_t len, std::string* out);
+
+  /// Logical stream length in bytes (chunk-granular).
+  uint64_t length() const { return next_chunk_ * options_.io_size; }
+
+ private:
+  BlobGroup(BlobStoreCluster* cluster, sim::SimNode* client, Options options,
+            std::vector<BlobId> blobs)
+      : cluster_(cluster),
+        client_(client),
+        options_(options),
+        blobs_(std::move(blobs)) {}
+
+  BlobStoreCluster* cluster_;
+  sim::SimNode* client_;
+  Options options_;
+  std::vector<BlobId> blobs_;
+  std::mutex mu_;
+  uint64_t next_chunk_ = 0;
+};
+
+}  // namespace vedb::blob
+
+#endif  // VEDB_BLOB_BLOB_STORE_H_

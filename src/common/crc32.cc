@@ -1,0 +1,37 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace vedb {
+
+namespace {
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  const uint32_t poly = 0x82F63B78u;  // CRC32C reflected polynomial
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const char* data, size_t n) {
+  const auto& table = Table();
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace vedb

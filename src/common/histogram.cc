@@ -1,0 +1,77 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vedb {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  // Geometric buckets: bucket = floor(log(value) / log(1.06)).
+  int b = static_cast<int>(std::log(static_cast<double>(value)) /
+                           std::log(1.06));
+  if (b < 0) b = 0;
+  if (b >= kNumBuckets) b = kNumBuckets - 1;
+  return b;
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  return static_cast<uint64_t>(std::pow(1.06, bucket + 1));
+}
+
+void Histogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+double Histogram::Average() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const uint64_t threshold =
+      static_cast<uint64_t>(std::ceil(count_ * (p / 100.0)));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= threshold) {
+      uint64_t ub = BucketUpperBound(i);
+      return std::min(ub, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary(double scale, const char* unit) const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu avg=%.2f%s p50=%.2f%s p95=%.2f%s p99=%.2f%s max=%.2f%s",
+           static_cast<unsigned long long>(count_), Average() / scale, unit,
+           P50() / scale, unit, P95() / scale, unit, P99() / scale, unit,
+           max_ / scale, unit);
+  return buf;
+}
+
+}  // namespace vedb

@@ -1,0 +1,53 @@
+// Latency histogram with log-scaled buckets; tracks count/avg/max and
+// approximate percentiles. Thread-compatible: either use one per thread and
+// Merge(), or guard externally.
+
+#ifndef VEDB_COMMON_HISTOGRAM_H_
+#define VEDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vedb {
+
+/// Records non-negative values (typically virtual-time latencies in
+/// nanoseconds) into ~6% wide geometric buckets.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double Average() const;
+
+  /// Approximate value at percentile p in [0, 100].
+  uint64_t Percentile(double p) const;
+  uint64_t P50() const { return Percentile(50); }
+  uint64_t P95() const { return Percentile(95); }
+  uint64_t P99() const { return Percentile(99); }
+
+  /// One-line summary, values scaled by `scale` with the given unit label
+  /// (e.g. scale=1000 unit="us" to print nanoseconds as microseconds).
+  std::string Summary(double scale = 1.0, const char* unit = "") const;
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace vedb
+
+#endif  // VEDB_COMMON_HISTOGRAM_H_

@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace vedb {
+
+LogLevel& VedbLogLevel() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+}  // namespace vedb

@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr. Off by default above WARN so tests and
+// benches stay quiet; set VedbLogLevel() for debugging.
+
+#ifndef VEDB_COMMON_LOGGING_H_
+#define VEDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vedb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level that is actually printed (default: kWarn).
+LogLevel& VedbLogLevel();
+
+}  // namespace vedb
+
+#define VEDB_LOG(level, ...)                                        \
+  do {                                                              \
+    if (static_cast<int>(::vedb::LogLevel::level) >=                \
+        static_cast<int>(::vedb::VedbLogLevel())) {                 \
+      fprintf(stderr, "[%s] %s:%d: ", #level, __FILE__, __LINE__);  \
+      fprintf(stderr, __VA_ARGS__);                                 \
+      fprintf(stderr, "\n");                                        \
+    }                                                               \
+  } while (0)
+
+/// Fatal invariant violation: prints and aborts. Use for programming errors,
+/// never for I/O failures (those return Status).
+#define VEDB_CHECK(cond, ...)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+              #cond);                                                    \
+      fprintf(stderr, "" __VA_ARGS__);                                   \
+      fprintf(stderr, "\n");                                             \
+      abort();                                                           \
+    }                                                                    \
+  } while (0)
+
+#endif  // VEDB_COMMON_LOGGING_H_

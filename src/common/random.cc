@@ -1,0 +1,71 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace vedb {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Random::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Random::Exponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+uint64_t Random::Skewed(uint64_t n) {
+  if (n <= 1) return 0;
+  uint64_t lo = 0, hi = n;
+  // Recursively bias toward the head of the range: 80/20 rule, three levels.
+  for (int level = 0; level < 3 && hi - lo > 4; ++level) {
+    uint64_t head = lo + (hi - lo) / 5;  // first 20%
+    if (Bernoulli(0.8)) {
+      hi = head;
+    } else {
+      lo = head;
+    }
+  }
+  return UniformRange(lo, hi - 1);
+}
+
+uint64_t Random::NonUniform(uint64_t a, uint64_t x, uint64_t y) {
+  const uint64_t c = 0;
+  return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+}
+
+std::string Random::String(size_t min_len, size_t max_len) {
+  const size_t len = min_len + (max_len > min_len ? Uniform(max_len - min_len + 1) : 0);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(26)));
+  }
+  return out;
+}
+
+}  // namespace vedb

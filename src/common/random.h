@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation. All randomness in the
+// library (device jitter, workload key choice, fault injection) flows through
+// Random so that runs are reproducible from a seed.
+
+#ifndef VEDB_COMMON_RANDOM_H_
+#define VEDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vedb {
+
+/// xoshiro256** generator seeded via SplitMix64. Not thread safe; give each
+/// actor/device its own instance (derive seeds with Fork()).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard-ish exponential with the given mean (for jitter tails).
+  double Exponential(double mean);
+
+  /// Zipfian-like skewed choice in [0, n): 80% of draws land in the first
+  /// 20% of the range, applied recursively. Cheap hot-key model.
+  uint64_t Skewed(uint64_t n);
+
+  /// TPC-C NURand(A, x, y) non-uniform random, with C = 0 for determinism
+  /// across runs (the spec allows a fixed C per run).
+  uint64_t NonUniform(uint64_t a, uint64_t x, uint64_t y);
+
+  /// Random lowercase ASCII string of length in [min_len, max_len].
+  std::string String(size_t min_len, size_t max_len);
+
+  /// Derives an independent generator; deterministic given this one's state.
+  Random Fork() { return Random(Next()); }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace vedb
+
+#endif  // VEDB_COMMON_RANDOM_H_

@@ -1,0 +1,70 @@
+// Result<T>: a value-or-Status return type, the companion of Status for
+// functions that produce a value on success.
+
+#ifndef VEDB_COMMON_RESULT_H_
+#define VEDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vedb {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+/// Constructing from an OK status is a programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: failure.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+/// Assigns the success value of a Result-returning expression to `lhs`, or
+/// returns the failure Status from the enclosing function.
+#define VEDB_ASSIGN_OR_RETURN(lhs, expr)                    \
+  VEDB_ASSIGN_OR_RETURN_IMPL(                               \
+      VEDB_CONCAT_NAME(_vedb_result_, __LINE__), lhs, expr)
+
+#define VEDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define VEDB_CONCAT_NAME(a, b) VEDB_CONCAT_NAME_INNER(a, b)
+#define VEDB_CONCAT_NAME_INNER(a, b) a##b
+
+}  // namespace vedb
+
+#endif  // VEDB_COMMON_RESULT_H_

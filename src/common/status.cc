@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace vedb {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kIOError: return "IOError";
+    case Status::Code::kTimedOut: return "TimedOut";
+    case Status::Code::kBusy: return "Busy";
+    case Status::Code::kNoSpace: return "NoSpace";
+    case Status::Code::kStale: return "Stale";
+    case Status::Code::kLeaseExpired: return "LeaseExpired";
+    case Status::Code::kUnavailable: return "Unavailable";
+    case Status::Code::kAborted: return "Aborted";
+    case Status::Code::kNotSupported: return "NotSupported";
+    case Status::Code::kAlreadyExists: return "AlreadyExists";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace vedb

@@ -1,0 +1,116 @@
+// Status: the error-handling currency of the library (RocksDB/Arrow idiom).
+// Functions that can fail return Status (or Result<T>); exceptions are not
+// used on I/O or query paths.
+
+#ifndef VEDB_COMMON_STATUS_H_
+#define VEDB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vedb {
+
+/// A lightweight success-or-error value. Cheap to copy on the success path
+/// (no allocation); carries a code and a message on the failure path.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kTimedOut = 5,
+    kBusy = 6,
+    kNoSpace = 7,
+    kStale = 8,          // route/lease is out of date; refresh and retry
+    kLeaseExpired = 9,   // client lost ownership of the resource
+    kUnavailable = 10,   // node down / not enough healthy replicas
+    kAborted = 11,       // transaction aborted (deadlock, conflict)
+    kNotSupported = 12,
+    kAlreadyExists = 13,
+  };
+
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = "") {
+    return Status(Code::kIOError, msg);
+  }
+  static Status TimedOut(std::string_view msg = "") {
+    return Status(Code::kTimedOut, msg);
+  }
+  static Status Busy(std::string_view msg = "") {
+    return Status(Code::kBusy, msg);
+  }
+  static Status NoSpace(std::string_view msg = "") {
+    return Status(Code::kNoSpace, msg);
+  }
+  static Status Stale(std::string_view msg = "") {
+    return Status(Code::kStale, msg);
+  }
+  static Status LeaseExpired(std::string_view msg = "") {
+    return Status(Code::kLeaseExpired, msg);
+  }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(Code::kUnavailable, msg);
+  }
+  static Status Aborted(std::string_view msg = "") {
+    return Status(Code::kAborted, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status AlreadyExists(std::string_view msg = "") {
+    return Status(Code::kAlreadyExists, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsStale() const { return code_ == Code::kStale; }
+  bool IsLeaseExpired() const { return code_ == Code::kLeaseExpired; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function.
+#define VEDB_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::vedb::Status _vedb_status = (expr);          \
+    if (!_vedb_status.ok()) return _vedb_status;   \
+  } while (0)
+
+}  // namespace vedb
+
+#endif  // VEDB_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Size and (virtual) time units used across the library.
+
+#ifndef VEDB_COMMON_UNITS_H_
+#define VEDB_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace vedb {
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// Virtual time is expressed in nanoseconds since simulation start.
+using Timestamp = uint64_t;
+/// A span of virtual time in nanoseconds.
+using Duration = uint64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr double ToMicros(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace vedb
+
+#endif  // VEDB_COMMON_UNITS_H_

@@ -1,0 +1,113 @@
+// DBEngine buffer pool: the first-level page cache. Misses fall through to
+// the extended buffer pool (one-sided RDMA to PMem, ~20us) and then to
+// PageStore (RPC + SSD, ~1ms) — the hierarchy whose hit rates drive most of
+// the paper's read-side numbers. Dirty pages are never written back to
+// PageStore (log-is-database); eviction only requires the page's REDO to be
+// shipped, and hands the image to the EBP.
+
+#ifndef VEDB_ENGINE_BUFFER_POOL_H_
+#define VEDB_ENGINE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/types.h"
+#include "sim/env.h"
+
+namespace vedb::engine {
+
+/// One resident page. Content access must hold `mu` (memory-only work, no
+/// clock waits under it).
+struct Frame {
+  uint64_t key = 0;
+  std::mutex mu;
+  std::string image;
+  uint64_t lsn = 0;
+  bool dirty = false;
+
+  // Guarded by the pool's lock:
+  int pins = 0;
+  bool loading = false;
+  std::list<uint64_t>::iterator lru_it;
+  bool in_lru = false;
+};
+
+class BufferPool {
+ public:
+  struct Options {
+    /// Resident page capacity.
+    size_t capacity_pages = 1024;
+    /// CPU cost per pool access (hash lookup, latch).
+    Duration access_cpu_cost = 600;
+  };
+
+  /// Miss/eviction plumbing supplied by the DBEngine.
+  struct Callbacks {
+    /// Extended buffer pool probe; NotFound on miss. Null when EBP is off.
+    std::function<Status(uint64_t key, std::string* image, uint64_t* lsn)>
+        ebp_get;
+    /// Eviction sink into the EBP. Null when EBP is off.
+    std::function<void(uint64_t key, uint64_t lsn, Slice image)> ebp_put;
+    /// PageStore read; NotFound if the page has never existed.
+    std::function<Status(uint64_t key, std::string* image, uint64_t* lsn)>
+        pagestore_read;
+    /// Blocks until REDO through `lsn` is durably shipped (eviction fence
+    /// for dirty pages).
+    std::function<void(uint64_t lsn)> ensure_shipped;
+  };
+
+  BufferPool(sim::SimEnvironment* env, sim::SimNode* node,
+             const Options& options, Callbacks callbacks);
+
+  /// Pins a page, fetching it through EBP/PageStore on a miss. With
+  /// `create_if_missing`, an absent page is born formatted (dirty-on-first-
+  /// write semantics come from the apply path). The returned frame stays
+  /// resident until Unpin.
+  Result<Frame*> Pin(uint64_t key, bool create_if_missing);
+
+  /// Releases a pin. If the caller modified the page it passes the new
+  /// `lsn` (0 = unchanged).
+  void Unpin(Frame* frame, uint64_t modified_lsn);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t ebp_hits = 0;
+    uint64_t pagestore_reads = 0;
+    uint64_t created = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  size_t ResidentPages() const;
+
+  /// True if the page is currently resident (used by the cost-based
+  /// push-down estimator).
+  bool IsResident(uint64_t key) const;
+
+ private:
+  void EvictIfNeededLocked(std::unique_lock<std::mutex>& lk);
+
+  sim::SimEnvironment* env_;
+  sim::SimNode* node_;
+  Options options_;
+  Callbacks callbacks_;
+
+  mutable std::mutex mu_;
+  sim::VirtualCondition load_cond_;
+  // shared_ptr so that a waiter parked on a loading frame can keep the
+  // object alive across a failed load that erases the map entry.
+  std::unordered_map<uint64_t, std::shared_ptr<Frame>> frames_;
+  std::list<uint64_t> lru_;  // front = most recent, unpinned pages only
+  Stats stats_;
+};
+
+}  // namespace vedb::engine
+
+#endif  // VEDB_ENGINE_BUFFER_POOL_H_

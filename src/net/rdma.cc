@@ -1,0 +1,159 @@
+#include "net/rdma.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vedb::net {
+
+MemoryRegionId RdmaFabric::RegisterMemory(sim::SimNode* node,
+                                          pmem::PmemDevice* pmem) {
+  std::lock_guard<std::mutex> lk(mu_);
+  MemoryRegionId id{next_region_++};
+  regions_[id] = Region{node, pmem};
+  return id;
+}
+
+void RdmaFabric::UnregisterMemory(MemoryRegionId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  regions_.erase(id);
+}
+
+Result<RdmaFabric::Region> RdmaFabric::Lookup(MemoryRegionId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = regions_.find(id);
+  if (it == regions_.end()) {
+    return Status::InvalidArgument("unregistered memory region");
+  }
+  return it->second;
+}
+
+Status RdmaFabric::PrepareChain(sim::SimNode* initiator,
+                                const std::vector<RdmaWorkRequest>& chain,
+                                std::vector<Region>* regions,
+                                Timestamp* completion) {
+  if (chain.empty()) return Status::InvalidArgument("empty WR chain");
+
+  // Resolve all regions up front; they must share a target node.
+  regions->clear();
+  regions->reserve(chain.size());
+  for (const auto& wr : chain) {
+    VEDB_ASSIGN_OR_RETURN(Region r, Lookup(wr.region));
+    if (!regions->empty() && r.node != regions->front().node) {
+      return Status::InvalidArgument("chained WRs must target one node");
+    }
+    regions->push_back(r);
+  }
+  sim::SimNode* target = regions->front().node;
+
+  if (!target->alive()) {
+    // The QP times out; the initiator burns the timeout before erroring.
+    *completion = env_->clock()->Now() + options_.timeout_latency;
+    return Status::Unavailable("rdma target " + target->name() + " is down");
+  }
+
+  // Timing: one doorbell, then each WR flows initiator NIC -> wire ->
+  // target NIC -> target media, strictly ordered within the chain. The
+  // target CPU is never involved.
+  Timestamp t = env_->clock()->Now() + options_.doorbell_cost;
+  for (const auto& wr : chain) {
+    const uint64_t bytes =
+        wr.kind == RdmaWorkRequest::Kind::kWrite ? wr.write_data.size()
+                                                 : wr.read_len;
+    t = initiator->nic()->SubmitAt(t, bytes);
+    t += options_.wire_latency;
+    t = target->nic()->SubmitAt(t, bytes);
+    t = target->storage()->SubmitAt(t, bytes);
+    if (wr.kind == RdmaWorkRequest::Kind::kRead) {
+      // Response payload crosses the wire back.
+      t += options_.wire_latency;
+      t = initiator->nic()->SubmitAt(t, bytes);
+    }
+  }
+  *completion = t;
+  return Status::OK();
+}
+
+Status RdmaFabric::ApplyChain(const std::vector<RdmaWorkRequest>& chain,
+                              const std::vector<Region>& regions) {
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const auto& wr = chain[i];
+    pmem::PmemDevice* pmem = regions[i].pmem;
+    if (wr.kind == RdmaWorkRequest::Kind::kWrite) {
+      VEDB_RETURN_IF_ERROR(pmem->WriteFromRemote(wr.offset, wr.write_data));
+    } else {
+      if (wr.read_out != nullptr && wr.read_len > 0) {
+        VEDB_RETURN_IF_ERROR(pmem->Read(wr.offset, wr.read_len, wr.read_out));
+      }
+      pmem->FlushViaRdmaRead();
+    }
+  }
+  return Status::OK();
+}
+
+Status RdmaFabric::PostChain(sim::SimNode* initiator,
+                             const std::vector<RdmaWorkRequest>& chain) {
+  VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("rdma.post"));
+  std::vector<Region> regions;
+  Timestamp completion = 0;
+  Status prep = PrepareChain(initiator, chain, &regions, &completion);
+  if (prep.IsUnavailable()) {
+    env_->clock()->SleepUntil(completion);
+    return prep;
+  }
+  VEDB_RETURN_IF_ERROR(prep);
+  env_->clock()->SleepUntil(completion);
+  return ApplyChain(chain, regions);
+}
+
+std::vector<Status> RdmaFabric::PostChainMulti(
+    sim::SimNode* initiator,
+    const std::vector<std::vector<RdmaWorkRequest>>& chains) {
+  std::vector<Status> statuses(chains.size(), Status::OK());
+
+  Status injected = env_->faults()->MaybeFail("rdma.post");
+  if (!injected.ok()) {
+    for (auto& s : statuses) s = injected;
+    return statuses;
+  }
+
+  std::vector<std::vector<Region>> regions(chains.size());
+  Timestamp latest = env_->clock()->Now();
+  for (size_t i = 0; i < chains.size(); ++i) {
+    Timestamp completion = latest;
+    statuses[i] = PrepareChain(initiator, chains[i], &regions[i], &completion);
+    if (statuses[i].ok() || statuses[i].IsUnavailable()) {
+      latest = std::max(latest, completion);
+    }
+  }
+  env_->clock()->SleepUntil(latest);
+  for (size_t i = 0; i < chains.size(); ++i) {
+    if (statuses[i].ok()) {
+      statuses[i] = ApplyChain(chains[i], regions[i]);
+    }
+  }
+  return statuses;
+}
+
+Status RdmaFabric::Write(sim::SimNode* initiator, MemoryRegionId region,
+                         uint64_t offset, Slice data) {
+  RdmaWorkRequest wr;
+  wr.kind = RdmaWorkRequest::Kind::kWrite;
+  wr.region = region;
+  wr.offset = offset;
+  wr.write_data = data;
+  return PostChain(initiator, {wr});
+}
+
+Status RdmaFabric::Read(sim::SimNode* initiator, MemoryRegionId region,
+                        uint64_t offset, uint64_t len, char* out) {
+  RdmaWorkRequest wr;
+  wr.kind = RdmaWorkRequest::Kind::kRead;
+  wr.region = region;
+  wr.offset = offset;
+  wr.read_out = out;
+  wr.read_len = len;
+  return PostChain(initiator, {wr});
+}
+
+}  // namespace vedb::net

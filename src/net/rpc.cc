@@ -1,0 +1,184 @@
+#include "net/rpc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vedb::net {
+
+void RpcTransport::RegisterService(sim::SimNode* node,
+                                   const std::string& service,
+                                   RpcHandler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  services_[{node->name(), service}] = std::move(handler);
+}
+
+void RpcTransport::UnregisterService(sim::SimNode* node,
+                                     const std::string& service) {
+  std::lock_guard<std::mutex> lk(mu_);
+  services_.erase({node->name(), service});
+}
+
+void RpcTransport::RegisterTimedService(sim::SimNode* node,
+                                        const std::string& service,
+                                        TimedRpcHandler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  timed_services_[{node->name(), service}] = std::move(handler);
+}
+
+Duration RpcTransport::SchedJitter() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (options_.sched_jitter_mean == 0) return 0;
+  return static_cast<Duration>(
+      rng_.Exponential(static_cast<double>(options_.sched_jitter_mean)));
+}
+
+std::vector<Status> RpcTransport::CallScatter(
+    sim::SimNode* client, const std::vector<ScatterCall>& calls,
+    std::vector<std::string>* responses, int required_acks) {
+  const size_t n = calls.size();
+  std::vector<Status> statuses(n, Status::OK());
+  if (responses != nullptr) responses->assign(n, "");
+  if (n == 0) return statuses;
+  if (required_acks <= 0 || required_acks > static_cast<int>(n)) {
+    required_acks = static_cast<int>(n);
+  }
+
+  Status injected = env_->faults()->MaybeFail("rpc.call");
+  if (!injected.ok()) {
+    for (auto& s : statuses) s = injected;
+    return statuses;
+  }
+
+  // One client-side syscall covers the batched submission.
+  Timestamp t0 = client->cpu()->SubmitAt(env_->clock()->Now(), 0,
+                                         options_.client_overhead);
+
+  std::vector<Timestamp> completions(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    sim::SimNode* server = calls[i].server;
+    Slice request(calls[i].request);
+    if (!server->alive()) {
+      statuses[i] = Status::Unavailable("rpc target " + server->name() +
+                                        " is down");
+      completions[i] = t0 + options_.timeout_latency;
+      continue;
+    }
+    TimedRpcHandler handler;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = timed_services_.find({server->name(), calls[i].service});
+      if (it == timed_services_.end()) {
+        statuses[i] = Status::NotFound("no timed service " + calls[i].service +
+                                       " on " + server->name());
+        completions[i] = t0;
+        continue;
+      }
+      handler = it->second;
+    }
+    // Request path to this server.
+    Timestamp t = client->nic()->SubmitAt(t0, request.size());
+    t += options_.wire_latency;
+    t = server->nic()->SubmitAt(t, request.size());
+    t = server->cpu()->SubmitAt(
+        t, 0, server->config().rpc_dispatch_cost + SchedJitter());
+    // Server work (non-blocking, reports its own completion).
+    std::string resp;
+    Timestamp done = t;
+    statuses[i] = handler(request, &resp, t, &done);
+    // Response path.
+    Timestamp r = server->nic()->SubmitAt(done, resp.size());
+    r += options_.wire_latency;
+    r = client->nic()->SubmitAt(r, resp.size());
+    completions[i] = r;
+    if (responses != nullptr && statuses[i].ok()) {
+      (*responses)[i] = std::move(resp);
+    }
+  }
+
+  // Wait for the k-th success (or for everything if not enough succeeded).
+  std::vector<Timestamp> ok_times;
+  Timestamp latest = t0;
+  for (size_t i = 0; i < n; ++i) {
+    latest = std::max(latest, completions[i]);
+    if (statuses[i].ok()) ok_times.push_back(completions[i]);
+  }
+  Timestamp wake = latest;
+  if (static_cast<int>(ok_times.size()) >= required_acks) {
+    std::nth_element(ok_times.begin(), ok_times.begin() + required_acks - 1,
+                     ok_times.end());
+    wake = ok_times[required_acks - 1];
+  }
+  env_->clock()->SleepUntil(wake);
+  return statuses;
+}
+
+std::vector<Status> RpcTransport::CallParallel(
+    sim::SimNode* client, const std::vector<sim::SimNode*>& servers,
+    const std::string& service, Slice request,
+    std::vector<std::string>* responses, int required_acks) {
+  std::vector<ScatterCall> calls;
+  calls.reserve(servers.size());
+  for (sim::SimNode* server : servers) {
+    calls.push_back(ScatterCall{server, service, request.ToString()});
+  }
+  return CallScatter(client, calls, responses, required_acks);
+}
+
+Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
+                          const std::string& service, Slice request,
+                          std::string* response) {
+  VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("rpc.call"));
+
+  if (!server->alive()) {
+    env_->clock()->SleepFor(options_.timeout_latency);
+    return Status::Unavailable("rpc target " + server->name() + " is down");
+  }
+
+  RpcHandler handler;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = services_.find({server->name(), service});
+    if (it == services_.end()) {
+      return Status::NotFound("no service " + service + " on " +
+                              server->name());
+    }
+    handler = it->second;
+  }
+
+  Duration sched_delay = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (options_.sched_jitter_mean > 0) {
+      sched_delay = static_cast<Duration>(
+          rng_.Exponential(static_cast<double>(options_.sched_jitter_mean)));
+    }
+  }
+
+  // Request path: client kernel -> client NIC -> wire -> server NIC ->
+  // server CPU (dispatch + scheduling delay).
+  Timestamp t = env_->clock()->Now();
+  t = client->cpu()->SubmitAt(t, 0, options_.client_overhead);
+  t = client->nic()->SubmitAt(t, request.size());
+  t += options_.wire_latency;
+  t = server->nic()->SubmitAt(t, request.size());
+  t = server->cpu()->SubmitAt(t, 0,
+                              server->config().rpc_dispatch_cost + sched_delay);
+  env_->clock()->SleepUntil(t);
+
+  // Handler executes "on the server": it charges whatever devices it uses.
+  std::string resp;
+  Status status = handler(request, &resp);
+
+  // Response path.
+  Timestamp r = env_->clock()->Now();
+  r = server->nic()->SubmitAt(r, resp.size());
+  r += options_.wire_latency;
+  r = client->nic()->SubmitAt(r, resp.size());
+  env_->clock()->SleepUntil(r);
+
+  if (status.ok() && response != nullptr) *response = std::move(resp);
+  return status;
+}
+
+}  // namespace vedb::net

@@ -1,0 +1,111 @@
+// Simulated RPC transport (the TCP/kernel path). Unlike one-sided RDMA, an
+// RPC pays kernel and thread-scheduling costs on both ends and occupies the
+// server's CPU pool, which is what makes the baseline LogStore's latency
+// both higher and spikier than AStore's.
+
+#ifndef VEDB_NET_RPC_H_
+#define VEDB_NET_RPC_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/env.h"
+
+namespace vedb::net {
+
+/// Server-side request handler. Runs on the calling actor's thread but may
+/// charge the server's devices (CPU, storage) for the work it performs; the
+/// transport has already charged the dispatch cost.
+using RpcHandler = std::function<Status(Slice request, std::string* response)>;
+
+/// Data-plane handler used with CallParallel. Must NOT block on the clock;
+/// instead it charges devices with SubmitAt(start, ...) and reports the
+/// completion time through `*done`, which lets the transport overlap
+/// several servers' work in virtual time.
+using TimedRpcHandler = std::function<Status(
+    Slice request, std::string* response, Timestamp start, Timestamp* done)>;
+
+/// Cluster-wide RPC plane. Thread safe.
+class RpcTransport {
+ public:
+  struct Options {
+    /// Client-side kernel/syscall cost per call.
+    Duration client_overhead = 4 * kMicrosecond;
+    /// One-way wire propagation.
+    Duration wire_latency = 5 * kMicrosecond;
+    /// Mean of the exponential thread-scheduling delay added on the server
+    /// before the handler runs (the contention the paper calls out).
+    Duration sched_jitter_mean = 12 * kMicrosecond;
+    /// Latency burned before reporting a dead target.
+    Duration timeout_latency = 1 * kMillisecond;
+    uint64_t seed = 99;
+  };
+
+  RpcTransport(sim::SimEnvironment* env, const Options& options)
+      : env_(env), options_(options), rng_(options.seed) {}
+  explicit RpcTransport(sim::SimEnvironment* env)
+      : RpcTransport(env, Options()) {}
+
+  /// Registers `handler` under (node, service). Re-registering replaces.
+  void RegisterService(sim::SimNode* node, const std::string& service,
+                       RpcHandler handler);
+
+  /// Removes a service registration.
+  void UnregisterService(sim::SimNode* node, const std::string& service);
+
+  /// Registers a data-plane handler under (node, service) for use with
+  /// CallParallel.
+  void RegisterTimedService(sim::SimNode* node, const std::string& service,
+                            TimedRpcHandler handler);
+
+  /// Performs a synchronous call from `client` to `server`. Blocks the
+  /// calling actor for the full round trip.
+  Status Call(sim::SimNode* client, sim::SimNode* server,
+              const std::string& service, Slice request,
+              std::string* response);
+
+  /// One element of a scatter: an independent request to a timed service.
+  struct ScatterCall {
+    sim::SimNode* server = nullptr;
+    std::string service;
+    std::string request;
+  };
+
+  /// Issues all `calls` in parallel and blocks until `required_acks` of them
+  /// have completed (0 means all). Slower calls finish in the background.
+  /// Statuses/responses are index aligned with `calls`. Dead servers report
+  /// Unavailable without delaying the quorum.
+  std::vector<Status> CallScatter(sim::SimNode* client,
+                                  const std::vector<ScatterCall>& calls,
+                                  std::vector<std::string>* responses,
+                                  int required_acks = 0);
+
+  /// Fans the same request out to `servers` in parallel; see CallScatter.
+  std::vector<Status> CallParallel(sim::SimNode* client,
+                                   const std::vector<sim::SimNode*>& servers,
+                                   const std::string& service, Slice request,
+                                   std::vector<std::string>* responses,
+                                   int required_acks = 0);
+
+ private:
+  Duration SchedJitter();
+
+  sim::SimEnvironment* env_;
+  Options options_;
+  std::mutex mu_;
+  Random rng_;
+  std::map<std::pair<std::string, std::string>, RpcHandler> services_;
+  std::map<std::pair<std::string, std::string>, TimedRpcHandler>
+      timed_services_;
+};
+
+}  // namespace vedb::net
+
+#endif  // VEDB_NET_RPC_H_

@@ -1,0 +1,203 @@
+// PageStore (Section III): the page half of veDB's storage layer. Shards
+// the page space into segments, receives REDO records shipped from the
+// DBEngine over RPC, replicates them with a quorum, detects holes via
+// per-record back-links and fills them by gossiping with peer replicas, and
+// continuously (or on demand) applies REDO to materialize page images —
+// checkpointing in the compute layer is never required.
+//
+// Each shard's records form a chain in ship order (the back-link of record
+// n is the sequence number n-1). The storage SDK ships strictly in LSN
+// order per shard, so applying in chain order is applying in LSN order;
+// re-shipped duplicates after a DBEngine recovery are absorbed by the
+// page-level LSN idempotence check.
+//
+// PageStore is engine-agnostic: page contents are opaque and REDO is
+// applied through an injected ApplyFn, so the same service can back any
+// engine.
+
+#ifndef VEDB_PAGESTORE_PAGESTORE_H_
+#define VEDB_PAGESTORE_PAGESTORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/rpc.h"
+#include "sim/env.h"
+
+namespace vedb::pagestore {
+
+/// Opaque page key (the engine packs space_no/page_no into it).
+using PageKey = uint64_t;
+
+/// One REDO record shipped to the PageStore.
+struct RedoShipRecord {
+  PageKey page_key = 0;
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+/// Applies one REDO payload to a page image at `lsn`. An empty `image`
+/// means the page does not exist yet; the function must initialize it. The
+/// function must be idempotent against re-application (check the image's
+/// own LSN).
+using ApplyFn = std::function<void(PageKey key, Slice payload, uint64_t lsn,
+                                   std::string* image)>;
+
+class PageStoreCluster {
+ public:
+  struct Options {
+    /// Page-space shards ("segments" in the paper's PageStore terms).
+    int num_shards = 8;
+    /// Copies of each shard.
+    int replication = 3;
+    /// Acks required before a ship is considered durable (quorum).
+    int write_quorum = 2;
+    /// Background apply/gossip cadence.
+    Duration background_period = 10 * kMillisecond;
+    /// CPU cost of applying one REDO record on a storage node.
+    Duration apply_cpu_per_record = 2 * kMicrosecond;
+    /// Page size used to charge read I/O.
+    uint64_t page_size = 16 * kKiB;
+  };
+
+  PageStoreCluster(sim::SimEnvironment* env, net::RpcTransport* rpc,
+                   std::vector<sim::SimNode*> nodes, ApplyFn apply,
+                   const Options& options);
+
+  /// Ships a batch of REDO records from `client`. Records must arrive here
+  /// in per-shard LSN order (the storage SDK's shipper guarantees this);
+  /// they are grouped by shard, stamped with chain sequence numbers, and
+  /// sent to all replicas in parallel. Returns once every shard involved
+  /// has a quorum of acks; laggards catch up via gossip.
+  Status ShipRecords(sim::SimNode* client,
+                     const std::vector<RedoShipRecord>& records);
+
+  /// Reads the newest materialized image of a page, requiring the serving
+  /// replica to have applied this shard's records up to the cluster's acked
+  /// LSN. Fails over across replicas; a behind replica first tries a
+  /// synchronous gossip catch-up.
+  Status ReadPage(sim::SimNode* client, PageKey key, std::string* image,
+                  uint64_t* image_lsn);
+
+  /// Directly installs a page image on every replica (bulk load path, e.g.
+  /// physical import of benchmark datasets). Bypasses REDO.
+  Status InstallPageDirect(PageKey key, uint64_t lsn, Slice image);
+
+  /// Largest LSN L such that every shard has quorum-acked all its records
+  /// with lsn <= L (safe checkpoint bound for log truncation).
+  uint64_t DurableLsn() const;
+
+  /// Drops applied REDO records with lsn < `lsn` on all replicas (GC once
+  /// the log has been truncated).
+  void TruncateBelow(uint64_t lsn);
+
+  /// Starts per-node background apply/gossip actors.
+  void StartBackground(sim::ActorGroup* group);
+  void Shutdown() { shutdown_.store(true); }
+
+  int ShardOf(PageKey key) const;
+  const std::vector<sim::SimNode*>& ReplicaNodes(int shard) const;
+
+  /// Reads a page from the replica hosted on `node` without any network
+  /// hop, charging local media I/O — the storage-side path of push-down
+  /// execution ("the PageServer reads the local disk", Section VI-B).
+  Status ReadLocalPage(sim::SimNode* node, PageKey key, std::string* image);
+
+  /// The node currently preferred for serving `key` locally (first alive
+  /// replica), or null.
+  sim::SimNode* LocalNodeFor(PageKey key) const;
+
+  /// State-only local page read for non-blocking (timed) handlers: no
+  /// device time is charged; `*applied` reports how many records had to be
+  /// applied so the caller can charge CPU itself.
+  Status PeekLocalPage(sim::SimNode* node, PageKey key, std::string* image,
+                       uint64_t* applied);
+
+  /// Test/metrics hooks.
+  uint64_t GossipFillCount() const { return gossip_fills_.load(); }
+  uint64_t AppliedRecordCount() const { return applied_records_.load(); }
+
+ private:
+  struct PageImage {
+    uint64_t lsn = 0;
+    std::string bytes;
+  };
+
+  struct StoredRecord {
+    uint64_t lsn = 0;
+    PageKey page_key = 0;
+    std::string payload;
+  };
+
+  /// One replica of one shard, resident on a node. Records are keyed by
+  /// their dense chain sequence number.
+  struct ShardReplica {
+    std::mutex mu;
+    sim::SimNode* node = nullptr;
+    std::map<uint64_t, StoredRecord> records;  // by chain seq (1-based)
+    uint64_t contiguous_seq = 0;  // all seqs <= this are present
+    uint64_t max_seen_seq = 0;    // largest seq ever received
+    uint64_t applied_seq = 0;     // records <= this are in page images
+    uint64_t applied_lsn = 0;     // lsn of the last applied record
+    std::map<PageKey, PageImage> pages;
+  };
+
+  struct Shard {
+    std::vector<sim::SimNode*> nodes;
+    std::vector<std::unique_ptr<ShardReplica>> replicas;
+    // Storage-SDK-side bookkeeping: chain sequence allocation and the
+    // quorum-acked high-water mark.
+    mutable std::mutex ship_mu;
+    uint64_t next_seq = 1;
+    uint64_t last_shipped_lsn = 0;
+    std::atomic<uint64_t> acked_lsn{0};
+  };
+
+  Status HandleShip(int shard, int replica_idx, Slice request,
+                    std::string* response, Timestamp start, Timestamp* done);
+  Status HandleReadPage(int shard, int replica_idx, Slice request,
+                        std::string* response);
+  Status HandleFetch(int shard, int replica_idx, Slice request,
+                     std::string* response);
+
+  /// Inserts records and advances the contiguity watermark. Caller holds
+  /// the replica lock.
+  void InsertRecordsLocked(
+      ShardReplica* rep,
+      const std::vector<std::pair<uint64_t, StoredRecord>>& records);
+
+  /// Applies contiguous unapplied records; returns how many were applied.
+  /// Caller holds the replica lock and must charge the CPU cost (applied *
+  /// apply_cpu_per_record) after unlocking — never block under the lock.
+  uint64_t ApplyContiguousLocked(ShardReplica* rep);
+
+  /// Pulls missing records from peer replicas. Must be called WITHOUT the
+  /// replica lock (does RPC). Returns true if progress was made.
+  bool GossipCatchUp(int shard, int replica_idx);
+
+  void BackgroundLoop(sim::SimNode* node);
+
+  sim::SimEnvironment* env_;
+  net::RpcTransport* rpc_;
+  std::vector<sim::SimNode*> nodes_;
+  ApplyFn apply_;
+  Options options_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> gossip_fills_{0};
+  std::atomic<uint64_t> applied_records_{0};
+};
+
+}  // namespace vedb::pagestore
+
+#endif  // VEDB_PAGESTORE_PAGESTORE_H_

@@ -1,0 +1,90 @@
+#include "pmem/pmem_device.h"
+
+#include <cstring>
+
+namespace vedb::pmem {
+
+PmemDevice::PmemDevice(uint64_t capacity, bool ddio_enabled,
+                       uint64_t crash_seed)
+    : capacity_(capacity),
+      ddio_enabled_(ddio_enabled),
+      bytes_(capacity, 0),
+      crash_rng_(crash_seed) {}
+
+Status PmemDevice::WriteFromRemote(uint64_t offset, Slice data) {
+  if (offset + data.size() > capacity_) {
+    return Status::InvalidArgument("pmem write out of bounds");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  memcpy(bytes_.data() + offset, data.data(), data.size());
+  MarkPendingLocked(offset, data.size());
+  return Status::OK();
+}
+
+Status PmemDevice::WriteLocal(uint64_t offset, Slice data) {
+  if (offset + data.size() > capacity_) {
+    return Status::InvalidArgument("pmem write out of bounds");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  memcpy(bytes_.data() + offset, data.data(), data.size());
+  return Status::OK();
+}
+
+Status PmemDevice::Read(uint64_t offset, uint64_t len, char* out) const {
+  if (offset + len > capacity_) {
+    return Status::InvalidArgument("pmem read out of bounds");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  memcpy(out, bytes_.data() + offset, len);
+  return Status::OK();
+}
+
+void PmemDevice::MarkPendingLocked(uint64_t offset, uint64_t len) {
+  // Coalesce with an existing overlapping/adjacent range if present. The
+  // ranges are tracking metadata only, so a conservative merge is fine.
+  uint64_t end = offset + len;
+  auto it = pending_.upper_bound(offset);
+  if (it != pending_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= offset) {
+      offset = prev->first;
+      end = std::max(end, prev->second);
+      pending_.erase(prev);
+    }
+  }
+  while (true) {
+    auto next = pending_.lower_bound(offset);
+    if (next == pending_.end() || next->first > end) break;
+    end = std::max(end, next->second);
+    pending_.erase(next);
+  }
+  pending_[offset] = end;
+}
+
+void PmemDevice::FlushViaRdmaRead() {
+  if (ddio_enabled_) return;  // read hits the LLC; nothing reaches the iMC
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_.clear();
+}
+
+void PmemDevice::PersistAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_.clear();
+}
+
+void PmemDevice::Crash() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [offset, end] : pending_) {
+    for (uint64_t i = offset; i < end; ++i) {
+      bytes_[i] = static_cast<char>(crash_rng_.Next());
+    }
+  }
+  pending_.clear();
+}
+
+size_t PmemDevice::PendingRangeCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_.size();
+}
+
+}  // namespace vedb::pmem

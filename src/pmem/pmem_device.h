@@ -1,0 +1,80 @@
+// Simulated persistent-memory device. Models the Optane/ADR behaviour the
+// paper's write path depends on: bytes written by inbound RDMA land in the
+// CPU cache (volatile) when Intel DDIO is enabled, or in the memory
+// controller's persistence domain when DDIO is disabled and a subsequent
+// RDMA READ flushes them. A simulated power failure (Crash) scrambles every
+// byte that never reached the persistence domain, which is what the CRC
+// checks in SegmentRing recovery must survive.
+//
+// PmemDevice stores *state only*; timing is charged by callers against the
+// owning SimNode's storage/NIC queueing devices, so the same state model
+// serves both local access (AStore server code) and remote one-sided RDMA.
+
+#ifndef VEDB_PMEM_PMEM_DEVICE_H_
+#define VEDB_PMEM_PMEM_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace vedb::pmem {
+
+/// One node's PMem address space.
+class PmemDevice {
+ public:
+  /// `ddio_enabled` mirrors the platform setting: when true, inbound RDMA
+  /// writes are volatile until an explicit Persist (the configuration the
+  /// paper rejects); when false, an RDMA READ flush moves them into the
+  /// persistence domain (the configuration the paper ships).
+  PmemDevice(uint64_t capacity, bool ddio_enabled, uint64_t crash_seed = 7);
+
+  uint64_t capacity() const { return capacity_; }
+  bool ddio_enabled() const { return ddio_enabled_; }
+
+  /// Writes arriving via inbound one-sided RDMA WRITE. Data is readable
+  /// immediately but not yet in the persistence domain.
+  Status WriteFromRemote(uint64_t offset, Slice data);
+
+  /// Writes by server-local code using proper flush instructions
+  /// (CLWB+fence); immediately persistent.
+  Status WriteLocal(uint64_t offset, Slice data);
+
+  /// Reads `len` bytes at `offset` into `out`.
+  Status Read(uint64_t offset, uint64_t len, char* out) const;
+
+  /// The flushing side effect of a one-sided RDMA READ against this device.
+  /// With DDIO disabled this drains all pending remote writes into the
+  /// persistence domain; with DDIO enabled it does nothing (data may sit in
+  /// the LLC indefinitely).
+  void FlushViaRdmaRead();
+
+  /// Explicit full persistence barrier (used by server-local code paths).
+  void PersistAll();
+
+  /// Simulates a power failure: every byte range not yet in the persistence
+  /// domain is overwritten with garbage, modelling torn/lost cache lines.
+  void Crash();
+
+  /// Number of byte ranges currently outside the persistence domain.
+  size_t PendingRangeCount() const;
+
+ private:
+  void MarkPendingLocked(uint64_t offset, uint64_t len);
+
+  const uint64_t capacity_;
+  const bool ddio_enabled_;
+  mutable std::mutex mu_;
+  std::vector<char> bytes_;
+  // offset -> end of ranges written but not yet persistent.
+  std::map<uint64_t, uint64_t> pending_;
+  Random crash_rng_;
+};
+
+}  // namespace vedb::pmem
+
+#endif  // VEDB_PMEM_PMEM_DEVICE_H_

@@ -1,0 +1,238 @@
+#include "sim/clock.h"
+
+#include "common/logging.h"
+
+namespace vedb::sim {
+
+namespace {
+// The clock the current thread is registered with (at most one).
+thread_local VirtualClock* tls_actor_clock = nullptr;
+}  // namespace
+
+VirtualClock::ActorSlot* VirtualClock::Slot() {
+  thread_local ActorSlot slot;
+  return &slot;
+}
+
+bool VirtualClock::CurrentThreadIsActor() {
+  return tls_actor_clock != nullptr;
+}
+
+VirtualClock::ExternalWaitScope::ExternalWaitScope(VirtualClock* clock)
+    : clock_(tls_actor_clock == clock ? clock : nullptr) {
+  if (clock_ == nullptr) return;  // not an actor: nothing to declare
+  std::lock_guard<std::mutex> lk(clock_->mu_);
+  clock_->blocked_++;
+  clock_->external_waits_++;
+  clock_->MaybeAdvanceLocked();
+}
+
+VirtualClock::ExternalWaitScope::~ExternalWaitScope() {
+  if (clock_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(clock_->mu_);
+  clock_->blocked_--;
+  clock_->external_waits_--;
+}
+
+Timestamp VirtualClock::Now() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return now_;
+}
+
+int VirtualClock::actor_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return actors_;
+}
+
+void VirtualClock::RegisterActor() {
+  std::lock_guard<std::mutex> lk(mu_);
+  actors_++;
+  tls_actor_clock = this;
+}
+
+void VirtualClock::ReserveActor() {
+  std::lock_guard<std::mutex> lk(mu_);
+  actors_++;
+}
+
+void VirtualClock::BindReservedActor() {
+  // The slot was already counted by ReserveActor(); just bind the thread.
+  tls_actor_clock = this;
+}
+
+void VirtualClock::UnregisterActor() {
+  std::lock_guard<std::mutex> lk(mu_);
+  actors_--;
+  tls_actor_clock = nullptr;
+  VEDB_CHECK(actors_ >= 0, "more unregisters than registers");
+  VEDB_CHECK(blocked_ <= actors_, "blocked actor unregistered");
+  // The exiting thread's ActorSlot is thread-local and dies with it; purge
+  // any stale timer entries that still point at it (e.g. timed waits that
+  // were notified before their deadline).
+  ActorSlot* slot = Slot();
+  std::vector<SleepEntry> keep;
+  keep.reserve(sleepers_.size());
+  while (!sleepers_.empty()) {
+    if (sleepers_.top().slot != slot) keep.push_back(sleepers_.top());
+    sleepers_.pop();
+  }
+  for (auto& entry : keep) sleepers_.push(entry);
+  MaybeAdvanceLocked();
+}
+
+void VirtualClock::MaybeAdvanceLocked() {
+  while (true) {
+    if (actors_ == 0 || blocked_ < actors_) return;
+    // Drop stale timer entries (owner already woken, or from an earlier
+    // block of the same thread).
+    while (!sleepers_.empty() && EntryStaleLocked(sleepers_.top())) {
+      sleepers_.pop();
+    }
+    if (sleepers_.empty()) {
+      if (external_waits_ > 0) return;  // parked on the outside world
+      for (VirtualCondition* cond : parked_conditions_) {
+        fprintf(stderr, "deadlock diagnostic: condition '%s' has %zu parked "
+                "waiter(s)\n", cond->name_, cond->parked_.size());
+      }
+      VEDB_CHECK(false,
+                 "virtual-time deadlock: clock=%p actors=%d blocked=%d "
+                 "external=%d now=%llu; a wait that depends on virtual time "
+                 "is not using VirtualCondition/SleepFor",
+                 (void*)this, actors_, blocked_, external_waits_,
+                 (unsigned long long)now_);
+    }
+    const Timestamp next = sleepers_.top().wake;
+    if (next > now_) now_ = next;
+    // Wake every sleeper whose time has arrived; they become runnable.
+    bool woke = false;
+    while (!sleepers_.empty() && sleepers_.top().wake <= now_) {
+      SleepEntry entry = sleepers_.top();
+      sleepers_.pop();
+      if (EntryStaleLocked(entry)) continue;
+      entry.slot->runnable = true;
+      blocked_--;
+      entry.slot->cv.notify_one();
+      woke = true;
+    }
+    if (woke) return;
+    // Everything at this instant was stale; advance again.
+  }
+}
+
+void VirtualClock::BlockCurrentLocked(std::unique_lock<std::mutex>& lk,
+                                      ActorSlot* slot,
+                                      const Timestamp* deadline) {
+  // Threads that never registered (e.g. a test's main thread constructing
+  // the cluster) join the actor set for the duration of the block, so the
+  // clock can advance for them too.
+  const bool guest = (tls_actor_clock != this);
+  if (guest) actors_++;
+  slot->seq++;
+  slot->runnable = false;
+  if (deadline != nullptr) {
+    sleepers_.push(SleepEntry{*deadline, slot, slot->seq});
+  }
+  blocked_++;
+  MaybeAdvanceLocked();
+  slot->cv.wait(lk, [&] { return slot->runnable; });
+  // Whoever made us runnable (clock advance or condition notify) already
+  // decremented blocked_ on our behalf.
+  if (guest) {
+    actors_--;
+    MaybeAdvanceLocked();
+  }
+}
+
+void VirtualClock::SleepUntil(Timestamp t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (t <= now_) return;
+  BlockCurrentLocked(lk, Slot(), &t);
+}
+
+void VirtualClock::SleepFor(Duration d) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const Timestamp t = now_ + d;
+  BlockCurrentLocked(lk, Slot(), &t);
+}
+
+uint64_t VirtualCondition::PrepareWait() {
+  std::lock_guard<std::mutex> lk(clock_->mu_);
+  return generation_;
+}
+
+void VirtualCondition::CommitWait(uint64_t generation) {
+  std::unique_lock<std::mutex> lk(clock_->mu_);
+  if (generation_ != generation) return;  // notified between prepare and park
+  VirtualClock::ActorSlot* slot = VirtualClock::Slot();
+  parked_.push_back(slot);
+  clock_->parked_conditions_.insert(this);
+  clock_->BlockCurrentLocked(lk, slot);
+  if (parked_.empty()) clock_->parked_conditions_.erase(this);
+}
+
+void VirtualCondition::CommitWaitUntil(uint64_t generation,
+                                       Timestamp deadline) {
+  std::unique_lock<std::mutex> lk(clock_->mu_);
+  if (generation_ != generation) return;  // notified between prepare and park
+  if (deadline <= clock_->now_) return;
+  VirtualClock::ActorSlot* slot = VirtualClock::Slot();
+  parked_.push_back(slot);
+  clock_->parked_conditions_.insert(this);
+  // Registered with both the condition and a timer; whichever fires first
+  // wins (the loser recognizes the slot as already runnable / re-blocked).
+  clock_->BlockCurrentLocked(lk, slot, &deadline);
+  // On a timer wake the parked_ entry would go stale and could spuriously
+  // wake a *future* blocking of this same thread; remove it.
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (*it == slot) {
+      parked_.erase(it);
+      break;
+    }
+  }
+  if (parked_.empty()) clock_->parked_conditions_.erase(this);
+}
+
+void VirtualCondition::NotifyAll() {
+  std::lock_guard<std::mutex> lk(clock_->mu_);
+  generation_++;
+  for (VirtualClock::ActorSlot* slot : parked_) {
+    if (slot->runnable) continue;  // already woken by its timer
+    slot->runnable = true;
+    clock_->blocked_--;
+    slot->cv.notify_one();
+  }
+  parked_.clear();
+  clock_->parked_conditions_.erase(this);
+}
+
+void ActorGroup::Spawn(std::function<void()> fn) {
+  clock_->ReserveActor();
+  threads_.emplace_back([this, clock = clock_, fn = std::move(fn)] {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [this] { return started_; });
+    }
+    clock->BindReservedActor();
+    fn();
+    clock->UnregisterActor();
+  });
+}
+
+void ActorGroup::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  started_ = true;
+  start_cv_.notify_all();
+}
+
+void ActorGroup::JoinAll() {
+  Start();
+  // Joining is a real-world wait: if the caller is itself an actor, declare
+  // it externally blocked so virtual time keeps flowing for the joinees.
+  VirtualClock::ExternalWaitScope scope(clock_);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace vedb::sim

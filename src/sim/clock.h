@@ -1,0 +1,224 @@
+// Virtual-time runtime: real OS threads act as simulation actors whose
+// blocking all flows through a shared VirtualClock. When every actor is
+// asleep (with a wake time) or parked (on a VirtualCondition), the clock
+// jumps to the earliest pending wake time. Database code therefore runs
+// unmodified on real threads while all latency is measured in deterministic
+// virtual nanoseconds.
+//
+// Rules for actor code:
+//  * Short critical sections may use plain std::mutex (the holder is running,
+//    so real-time blocking is invisible to virtual time).
+//  * Any wait whose release depends on another actor making progress in
+//    virtual time (row locks held across I/O, group-commit waits, RPC
+//    completions) must use VirtualCondition, otherwise the clock deadlocks
+//    (and aborts with a diagnostic).
+
+#ifndef VEDB_SIM_CLOCK_H_
+#define VEDB_SIM_CLOCK_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vedb::sim {
+
+class VirtualCondition;
+
+/// The global virtual clock for one simulation. Thread safe. Wakeups are
+/// targeted (per-actor condition variables), so large actor counts do not
+/// cause a thundering herd on every advance.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  /// Current virtual time in nanoseconds.
+  Timestamp Now() const;
+
+  /// Declares the calling thread an actor. Every actor must either be
+  /// runnable or blocked through this clock; the clock only advances when
+  /// all actors are blocked.
+  void RegisterActor();
+
+  /// Removes the calling thread from the actor set (call before exit).
+  void UnregisterActor();
+
+  /// Reserves an actor slot before the actor thread starts running, so the
+  /// clock cannot advance past the new actor's birth. The spawned thread
+  /// must call BindReservedActor() instead of RegisterActor().
+  void ReserveActor();
+  void BindReservedActor();
+
+  /// Blocks the calling actor until virtual time reaches `t`.
+  void SleepUntil(Timestamp t);
+
+  /// Blocks the calling actor for `d` virtual nanoseconds.
+  void SleepFor(Duration d);
+
+  /// Number of registered actors (for tests).
+  int actor_count() const;
+
+  /// True if the calling thread is a registered actor of this clock.
+  static bool CurrentThreadIsActor();
+
+  /// Declares the calling actor blocked on something outside virtual time
+  /// (e.g. joining a thread). While any external wait is active the clock
+  /// may advance without it, and an otherwise-idle clock simply parks
+  /// instead of declaring deadlock. Construct/destroy from the same thread.
+  class ExternalWaitScope {
+   public:
+    explicit ExternalWaitScope(VirtualClock* clock);
+    ~ExternalWaitScope();
+
+   private:
+    VirtualClock* clock_;  // nullptr when the thread is not an actor
+  };
+
+ private:
+  friend class VirtualCondition;
+
+  // Per-actor parking slot. Lives in thread-local storage; an actor is only
+  // ever blocked on its own slot. `seq` increments on every block so stale
+  // timer entries from earlier blocks can be recognized and skipped.
+  struct ActorSlot {
+    std::condition_variable cv;
+    bool runnable = true;
+    uint64_t seq = 0;
+  };
+  static ActorSlot* Slot();
+
+  struct SleepEntry {
+    Timestamp wake;
+    ActorSlot* slot;
+    uint64_t seq;
+    bool operator>(const SleepEntry& o) const { return wake > o.wake; }
+  };
+
+  // All state below guarded by mu_.
+  bool EntryStaleLocked(const SleepEntry& e) const {
+    return e.slot->runnable || e.slot->seq != e.seq;
+  }
+  void MaybeAdvanceLocked();
+  /// Blocks the current actor; if `deadline` is non-null a timer entry is
+  /// registered too.
+  void BlockCurrentLocked(std::unique_lock<std::mutex>& lk, ActorSlot* slot,
+                          const Timestamp* deadline = nullptr);
+
+  // Conditions with parked waiters (diagnostics for deadlock reports).
+  std::set<VirtualCondition*> parked_conditions_;
+
+  mutable std::mutex mu_;
+  Timestamp now_ = 0;
+  int actors_ = 0;
+  int blocked_ = 0;         // actors currently sleeping/parked/external
+  int external_waits_ = 0;  // subset of blocked_: waiting outside the clock
+  std::priority_queue<SleepEntry, std::vector<SleepEntry>,
+                      std::greater<SleepEntry>>
+      sleepers_;
+};
+
+/// An eventcount-style condition integrated with the virtual clock: parked
+/// waiters count as blocked so the clock can keep advancing, and a notify
+/// makes them logically runnable at the current virtual instant.
+///
+/// Usage (user_mu guards the predicate's state):
+///   std::unique_lock<std::mutex> lk(user_mu);
+///   cond.Wait(lk, [&] { return ready; });
+/// Notifier:
+///   { std::lock_guard<std::mutex> lk(user_mu); ready = true; }
+///   cond.NotifyAll();
+class VirtualCondition {
+ public:
+  explicit VirtualCondition(VirtualClock* clock, const char* name = "?")
+      : clock_(clock), name_(name) {}
+  VirtualCondition(const VirtualCondition&) = delete;
+  VirtualCondition& operator=(const VirtualCondition&) = delete;
+
+  /// Blocks until `pred()` is true. `lock` must be held on entry and is held
+  /// again on return; it is released while parked.
+  template <typename Pred>
+  void Wait(std::unique_lock<std::mutex>& lock, Pred pred) {
+    while (true) {
+      uint64_t g = PrepareWait();
+      if (pred()) return;
+      lock.unlock();
+      CommitWait(g);
+      lock.lock();
+    }
+  }
+
+  /// Like Wait, but gives up at virtual time `deadline`. Returns true if
+  /// `pred()` held on exit, false on timeout.
+  template <typename Pred>
+  bool WaitUntil(std::unique_lock<std::mutex>& lock, Timestamp deadline,
+                 Pred pred) {
+    while (true) {
+      uint64_t g = PrepareWait();
+      if (pred()) return true;
+      if (clock_->Now() >= deadline) return false;
+      lock.unlock();
+      CommitWaitUntil(g, deadline);
+      lock.lock();
+    }
+  }
+
+  /// Wakes all parked waiters. Call after mutating the predicate's state
+  /// (holding or having released the user lock).
+  void NotifyAll();
+
+ private:
+  friend class VirtualClock;
+
+  uint64_t PrepareWait();
+  void CommitWait(uint64_t generation);
+  void CommitWaitUntil(uint64_t generation, Timestamp deadline);
+
+  VirtualClock* clock_;
+  const char* name_;
+  // Guarded by clock_->mu_:
+  uint64_t generation_ = 0;
+  std::vector<VirtualClock::ActorSlot*> parked_;
+};
+
+/// Spawns actor threads bound to a clock and joins them on destruction.
+///
+/// Threads spawned before Start() is called are held at a gate so that a
+/// non-actor coordinator (e.g. a test's main thread) can spawn several
+/// actors without the first one racing virtual time ahead of the others.
+/// JoinAll()/destruction call Start() implicitly. Threads spawned after
+/// Start() begin immediately, which is safe when the spawner is itself a
+/// running actor (the clock cannot advance while it runs).
+class ActorGroup {
+ public:
+  explicit ActorGroup(VirtualClock* clock) : clock_(clock) {}
+  ~ActorGroup() { JoinAll(); }
+
+  /// Creates a new actor thread running `fn`. The actor slot is reserved
+  /// immediately, so the clock cannot race past the new actor's birth.
+  void Spawn(std::function<void()> fn);
+
+  /// Opens the gate: all previously spawned threads begin running.
+  void Start();
+
+  /// Opens the gate if needed and joins every spawned thread.
+  void JoinAll();
+
+ private:
+  VirtualClock* clock_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  bool started_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vedb::sim
+
+#endif  // VEDB_SIM_CLOCK_H_

@@ -1,0 +1,37 @@
+#include "sim/fault.h"
+
+namespace vedb::sim {
+
+void FaultInjector::Arm(const std::string& site, double probability,
+                        Status failure, int remaining) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Rule& rule = rules_[site];
+  rule.probability = probability;
+  rule.failure = std::move(failure);
+  rule.remaining = remaining;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rules_.erase(site);
+}
+
+Status FaultInjector::MaybeFail(const std::string& site) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rules_.find(site);
+  if (it == rules_.end()) return Status::OK();
+  Rule& rule = it->second;
+  if (rule.remaining == 0) return Status::OK();
+  if (!rng_.Bernoulli(rule.probability)) return Status::OK();
+  if (rule.remaining > 0) rule.remaining--;
+  rule.injected++;
+  return rule.failure;
+}
+
+uint64_t FaultInjector::InjectedCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = rules_.find(site);
+  return it == rules_.end() ? 0 : it->second.injected;
+}
+
+}  // namespace vedb::sim

@@ -1,0 +1,52 @@
+// Fault injection. Code on failure-handling paths calls
+// MaybeFail("site.name"); tests and benches arm sites with probabilities or
+// one-shot triggers to exercise recovery logic deterministically.
+
+#ifndef VEDB_SIM_FAULT_H_
+#define VEDB_SIM_FAULT_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace vedb::sim {
+
+/// Registry of armed fault sites. Thread safe.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
+
+  /// Arms `site` to fail with the given probability per call. `remaining`
+  /// bounds the number of injected failures (< 0 means unlimited).
+  void Arm(const std::string& site, double probability,
+           Status failure = Status::IOError("injected fault"),
+           int remaining = -1);
+
+  /// Disarms a site.
+  void Disarm(const std::string& site);
+
+  /// Returns the armed failure for `site` (decrementing its budget), or OK.
+  Status MaybeFail(const std::string& site);
+
+  /// Number of failures injected at `site` so far.
+  uint64_t InjectedCount(const std::string& site) const;
+
+ private:
+  struct Rule {
+    double probability = 0.0;
+    Status failure;
+    int remaining = -1;
+    uint64_t injected = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Rule> rules_;
+  Random rng_;
+};
+
+}  // namespace vedb::sim
+
+#endif  // VEDB_SIM_FAULT_H_

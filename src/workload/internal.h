@@ -1,0 +1,122 @@
+// Synthetic equivalents of the paper's ByteDance-internal workloads
+// (Section VII): batched order processing (Figure 8), the advertisement
+// data library (Figure 9), the operations database (Figure 12), and a
+// sysbench-style OLTP mix (Figure 13). Parameters follow the paper's
+// descriptions; see DESIGN.md for the substitution rationale.
+
+#ifndef VEDB_WORKLOAD_INTERNAL_H_
+#define VEDB_WORKLOAD_INTERNAL_H_
+
+#include <atomic>
+#include <string>
+
+#include "common/random.h"
+#include "engine/engine.h"
+
+namespace vedb::workload {
+
+/// Figure 8's order-processing application: a vendor's orders are batched
+/// into one transaction that updates the vendor's (hot) balance row and
+/// inserts ~2KB-wide rows into the order-flow table.
+class OrderProcessingWorkload {
+ public:
+  struct Options {
+    /// Vendors ("there are often many concurrent updates for the same
+    /// merchant" — few vendors = hot rows).
+    int merchants = 8;
+    /// Orders batched per transaction.
+    int orders_per_txn = 4;
+    /// The INSERT payload width ("about 2KB").
+    size_t order_bytes = 2048;
+  };
+
+  OrderProcessingWorkload(engine::DBEngine* engine, const Options& options,
+                          uint64_t seed);
+
+  Status Load();
+
+  /// The full order-processing transaction (balance update + batch insert).
+  Status RunOrderTransaction(Random* rng);
+
+  /// The single-insert variant measured separately in Figure 8.
+  Status RunSingleInsert(Random* rng);
+
+ private:
+  engine::DBEngine* engine_;
+  Options options_;
+  engine::Table* balances_ = nullptr;
+  engine::Table* order_flow_ = nullptr;
+  std::atomic<uint64_t> next_order_{1};
+};
+
+/// Figure 9's advertisement data library: latency-critical small
+/// transactions (point reads + counter updates) with a ~10ms P99 target.
+class AdvertisementWorkload {
+ public:
+  struct Options {
+    int campaigns = 2000;
+    /// Reads per transaction; one counter update accompanies them.
+    int reads_per_txn = 3;
+  };
+
+  AdvertisementWorkload(engine::DBEngine* engine, const Options& options,
+                        uint64_t seed);
+  Status Load();
+  Status RunQuery(Random* rng);
+
+ private:
+  engine::DBEngine* engine_;
+  Options options_;
+  engine::Table* campaigns_ = nullptr;
+};
+
+/// Figure 12's operations database: one huge table (the paper: 17TB data,
+/// 120GB buffer pool, ~95% hit rate), served by PK lookups with a skewed
+/// access pattern.
+class OperationsWorkload {
+ public:
+  struct Options {
+    /// Scaled row count; choose together with the BP size so the buffer
+    /// pool holds a few percent of the table.
+    int rows = 60000;
+    size_t row_bytes = 256;
+  };
+
+  OperationsWorkload(engine::DBEngine* engine, const Options& options,
+                     uint64_t seed);
+  Status Load();
+  /// One lookup query (skewed key choice: hot head + uniform tail).
+  Status RunLookup(Random* rng);
+
+ private:
+  engine::DBEngine* engine_;
+  Options options_;
+  engine::Table* records_ = nullptr;
+};
+
+/// Sysbench oltp_read_write-style mix (Figure 13): per transaction, 10
+/// point selects, 1 short range scan, 2 updates, 1 delete+insert. Returns
+/// the number of statement-level queries executed via `queries_out`.
+class SysbenchWorkload {
+ public:
+  struct Options {
+    int rows = 20000;
+    int point_selects = 10;
+    int range_size = 20;
+    size_t pad_bytes = 180;
+  };
+
+  SysbenchWorkload(engine::DBEngine* engine, const Options& options,
+                   uint64_t seed);
+  Status Load();
+  Status RunTransaction(Random* rng, int* queries_out);
+
+ private:
+  engine::DBEngine* engine_;
+  Options options_;
+  engine::Table* sbtest_ = nullptr;
+};
+
+}  // namespace vedb::workload
+
+#endif  // VEDB_WORKLOAD_INTERNAL_H_

@@ -1,0 +1,48 @@
+// Read-only standby instance (a paper future-work item, Section VIII:
+// "[the EBP] could be used by stand-by instances that serve read-only
+// queries"). A standby is a DBEngine with no log: it rebuilds its catalog
+// and indexes from PageStore, attaches (read-only) to the primary's EBP
+// pages by scanning the AStore servers, and serves point reads and scans.
+// Its view is bounded-stale: RefreshIndexes() re-synchronizes with the
+// primary's committed state.
+
+#ifndef VEDB_WORKLOAD_STANDBY_H_
+#define VEDB_WORKLOAD_STANDBY_H_
+
+#include <functional>
+#include <memory>
+
+#include "workload/cluster.h"
+
+namespace vedb::workload {
+
+class ReadOnlyStandby {
+ public:
+  /// Attaches a standby to `cluster`. `declare_catalog` re-declares the
+  /// schema (same routine a recovering primary uses). The standby gets its
+  /// own node ("standby"), SDK identity, and EBP view rebuilt from the
+  /// primary EBP's segments on the AStore servers.
+  static Result<std::unique_ptr<ReadOnlyStandby>> Attach(
+      VedbCluster* cluster,
+      const std::function<void(engine::DBEngine*)>& declare_catalog);
+
+  /// The read-only engine: Get/Scan/IndexLookup work; write commits fail
+  /// with NotSupported.
+  engine::DBEngine* engine() { return engine_.get(); }
+
+  /// Re-synchronizes indexes and the EBP view with the primary's current
+  /// committed state (the staleness knob).
+  Status RefreshIndexes();
+
+ private:
+  ReadOnlyStandby() = default;
+
+  VedbCluster* cluster_ = nullptr;
+  std::unique_ptr<astore::AStoreClient> astore_client_;
+  std::unique_ptr<ebp::ExtendedBufferPool> ebp_;
+  std::unique_ptr<engine::DBEngine> engine_;
+};
+
+}  // namespace vedb::workload
+
+#endif  // VEDB_WORKLOAD_STANDBY_H_

@@ -1,0 +1,523 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace vedb::workload {
+
+using engine::Row;
+using engine::Schema;
+using engine::Table;
+using engine::Txn;
+using engine::Value;
+using engine::ValueType;
+
+std::string TpccLastName(int num) {
+  static const char* kSyllables[] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                     "PRES",  "ESE",   "ANTI", "CALLY",
+                                     "ATION", "EING"};
+  return std::string(kSyllables[(num / 100) % 10]) +
+         kSyllables[(num / 10) % 10] + kSyllables[num % 10];
+}
+
+namespace {
+Schema WarehouseSchema() {
+  Schema s;
+  s.columns = {{"w_id", ValueType::kInt},    {"w_name", ValueType::kString},
+               {"w_tax", ValueType::kDouble}, {"w_ytd", ValueType::kDouble}};
+  s.pk = {0};
+  return s;
+}
+Schema DistrictSchema() {
+  Schema s;
+  s.columns = {{"d_w_id", ValueType::kInt},     {"d_id", ValueType::kInt},
+               {"d_name", ValueType::kString},  {"d_tax", ValueType::kDouble},
+               {"d_ytd", ValueType::kDouble},   {"d_next_o_id", ValueType::kInt}};
+  s.pk = {0, 1};
+  return s;
+}
+Schema CustomerSchema() {
+  Schema s;
+  s.columns = {{"c_w_id", ValueType::kInt},
+               {"c_d_id", ValueType::kInt},
+               {"c_id", ValueType::kInt},
+               {"c_last", ValueType::kString},
+               {"c_first", ValueType::kString},
+               {"c_balance", ValueType::kDouble},
+               {"c_ytd_payment", ValueType::kDouble},
+               {"c_payment_cnt", ValueType::kInt},
+               {"c_delivery_cnt", ValueType::kInt},
+               {"c_data", ValueType::kString}};
+  s.pk = {0, 1, 2};
+  return s;
+}
+Schema HistorySchema() {
+  Schema s;
+  s.columns = {{"h_id", ValueType::kInt},     {"h_c_w_id", ValueType::kInt},
+               {"h_c_d_id", ValueType::kInt}, {"h_c_id", ValueType::kInt},
+               {"h_amount", ValueType::kDouble},
+               {"h_data", ValueType::kString}};
+  s.pk = {0};
+  return s;
+}
+Schema NewOrderSchema() {
+  Schema s;
+  s.columns = {{"no_w_id", ValueType::kInt},
+               {"no_d_id", ValueType::kInt},
+               {"no_o_id", ValueType::kInt}};
+  s.pk = {0, 1, 2};
+  return s;
+}
+Schema OrdersSchema() {
+  Schema s;
+  s.columns = {{"o_w_id", ValueType::kInt},      {"o_d_id", ValueType::kInt},
+               {"o_id", ValueType::kInt},        {"o_c_id", ValueType::kInt},
+               {"o_entry_d", ValueType::kInt},   {"o_carrier_id", ValueType::kInt},
+               {"o_ol_cnt", ValueType::kInt}};
+  s.pk = {0, 1, 2};
+  return s;
+}
+Schema OrderLineSchema() {
+  Schema s;
+  s.columns = {{"ol_w_id", ValueType::kInt},
+               {"ol_d_id", ValueType::kInt},
+               {"ol_o_id", ValueType::kInt},
+               {"ol_number", ValueType::kInt},
+               {"ol_i_id", ValueType::kInt},
+               {"ol_supply_w_id", ValueType::kInt},
+               {"ol_quantity", ValueType::kInt},
+               {"ol_amount", ValueType::kDouble},
+               {"ol_delivery_d", ValueType::kInt}};
+  s.pk = {0, 1, 2, 3};
+  return s;
+}
+Schema ItemSchema() {
+  Schema s;
+  s.columns = {{"i_id", ValueType::kInt},
+               {"i_name", ValueType::kString},
+               {"i_price", ValueType::kDouble},
+               {"i_data", ValueType::kString}};
+  s.pk = {0};
+  return s;
+}
+Schema StockSchema() {
+  Schema s;
+  s.columns = {{"s_w_id", ValueType::kInt},      {"s_i_id", ValueType::kInt},
+               {"s_quantity", ValueType::kInt},  {"s_ytd", ValueType::kDouble},
+               {"s_order_cnt", ValueType::kInt}, {"s_remote_cnt", ValueType::kInt},
+               {"s_supplier", ValueType::kInt}};
+  s.pk = {0, 1};
+  return s;
+}
+Schema SupplierSchema() {
+  Schema s;
+  s.columns = {{"su_id", ValueType::kInt},
+               {"su_name", ValueType::kString},
+               {"su_nation", ValueType::kInt},
+               {"su_balance", ValueType::kDouble}};
+  s.pk = {0};
+  return s;
+}
+Schema NationSchema() {
+  Schema s;
+  s.columns = {{"n_id", ValueType::kInt},
+               {"n_name", ValueType::kString},
+               {"n_region", ValueType::kInt}};
+  s.pk = {0};
+  return s;
+}
+Schema RegionSchema() {
+  Schema s;
+  s.columns = {{"r_id", ValueType::kInt}, {"r_name", ValueType::kString}};
+  s.pk = {0};
+  return s;
+}
+}  // namespace
+
+void TpccDatabase::DeclareTables(engine::DBEngine* engine,
+                                 bool with_ch_tables) {
+  engine->CreateTable("warehouse", WarehouseSchema());
+  engine->CreateTable("district", DistrictSchema());
+  Table* customer = engine->CreateTable("customer", CustomerSchema());
+  customer->CreateIndex("by_last", {0, 1, 3});
+  engine->CreateTable("history", HistorySchema());
+  engine->CreateTable("neworder", NewOrderSchema());
+  Table* orders = engine->CreateTable("orders", OrdersSchema());
+  orders->CreateIndex("by_customer", {0, 1, 3});
+  engine->CreateTable("orderline", OrderLineSchema());
+  engine->CreateTable("item", ItemSchema());
+  engine->CreateTable("stock", StockSchema());
+  if (with_ch_tables) {
+    engine->CreateTable("supplier", SupplierSchema());
+    engine->CreateTable("nation", NationSchema());
+    engine->CreateTable("region", RegionSchema());
+  }
+}
+
+TpccDatabase::TpccDatabase(engine::DBEngine* engine, const TpccScale& scale,
+                           uint64_t seed, bool with_ch_tables)
+    : engine_(engine),
+      scale_(scale),
+      rng_(seed),
+      with_ch_tables_(with_ch_tables) {
+  DeclareTables(engine, with_ch_tables);
+  warehouse_ = engine->GetTable("warehouse");
+  district_ = engine->GetTable("district");
+  customer_ = engine->GetTable("customer");
+  history_ = engine->GetTable("history");
+  neworder_ = engine->GetTable("neworder");
+  orders_ = engine->GetTable("orders");
+  orderline_ = engine->GetTable("orderline");
+  item_ = engine->GetTable("item");
+  stock_ = engine->GetTable("stock");
+  supplier_ = engine->GetTable("supplier");
+  nation_ = engine->GetTable("nation");
+  region_ = engine->GetTable("region");
+}
+
+Status TpccDatabase::Load() {
+  // Items.
+  {
+    std::vector<Row> rows;
+    for (int i = 1; i <= scale_.items; ++i) {
+      rows.push_back({Value(i), Value("item-" + std::to_string(i)),
+                      Value(1.0 + rng_.Uniform(100)), Value(rng_.String(8, 24))});
+    }
+    VEDB_RETURN_IF_ERROR(item_->BulkLoad(rows));
+  }
+
+  std::vector<Row> warehouses, districts, customers, stocks, orders_rows,
+      orderlines, neworders;
+  int64_t next_history = 1;
+  std::vector<Row> histories;
+  for (int w = 1; w <= scale_.warehouses; ++w) {
+    warehouses.push_back({Value(w), Value("wh-" + std::to_string(w)),
+                          Value(0.1 * rng_.NextDouble()), Value(300000.0)});
+    for (int i = 1; i <= scale_.items; ++i) {
+      stocks.push_back({Value(w), Value(i),
+                        Value(static_cast<int64_t>(rng_.UniformRange(10, 100))),
+                        Value(0.0), Value(0), Value(0),
+                        Value(static_cast<int64_t>(1 + (i % 10)))});
+    }
+    for (int d = 1; d <= scale_.districts_per_warehouse; ++d) {
+      const int next_o_id = scale_.initial_orders_per_district + 1;
+      districts.push_back({Value(w), Value(d), Value("dist"),
+                           Value(0.1 * rng_.NextDouble()), Value(30000.0),
+                           Value(next_o_id)});
+      for (int c = 1; c <= scale_.customers_per_district; ++c) {
+        customers.push_back(
+            {Value(w), Value(d), Value(c),
+             Value(TpccLastName(c <= 100 ? c - 1
+                                         : static_cast<int>(rng_.NonUniform(
+                                               255, 0, 999)))),
+             Value(rng_.String(6, 12)), Value(-10.0), Value(10.0), Value(1),
+             Value(0), Value(rng_.String(50, 100))});
+        histories.push_back({Value(next_history++), Value(w), Value(d),
+                             Value(c), Value(10.0), Value(rng_.String(12, 24))});
+      }
+      for (int o = 1; o <= scale_.initial_orders_per_district; ++o) {
+        const int c = 1 + static_cast<int>(
+                              rng_.Uniform(scale_.customers_per_district));
+        const int ol_cnt = static_cast<int>(rng_.UniformRange(5, 15));
+        const bool delivered = o <= scale_.initial_orders_per_district * 7 / 10;
+        orders_rows.push_back({Value(w), Value(d), Value(o), Value(c),
+                               Value(o * 1000), Value(delivered ? 1 + (o % 10) : 0),
+                               Value(ol_cnt)});
+        if (!delivered) neworders.push_back({Value(w), Value(d), Value(o)});
+        for (int ol = 1; ol <= ol_cnt; ++ol) {
+          orderlines.push_back(
+              {Value(w), Value(d), Value(o), Value(ol),
+               Value(static_cast<int64_t>(rng_.UniformRange(1, scale_.items))),
+               Value(w), Value(static_cast<int64_t>(rng_.UniformRange(1, 10))),
+               Value(rng_.NextDouble() * 100.0),
+               Value(delivered ? o * 1000 + 500 : 0)});
+        }
+      }
+    }
+  }
+  VEDB_RETURN_IF_ERROR(warehouse_->BulkLoad(warehouses));
+  VEDB_RETURN_IF_ERROR(district_->BulkLoad(districts));
+  VEDB_RETURN_IF_ERROR(customer_->BulkLoad(customers));
+  VEDB_RETURN_IF_ERROR(history_->BulkLoad(histories));
+  VEDB_RETURN_IF_ERROR(stock_->BulkLoad(stocks));
+  VEDB_RETURN_IF_ERROR(orders_->BulkLoad(orders_rows));
+  VEDB_RETURN_IF_ERROR(orderline_->BulkLoad(orderlines));
+  VEDB_RETURN_IF_ERROR(neworder_->BulkLoad(neworders));
+
+  if (with_ch_tables_) {
+    std::vector<Row> regions, nations, suppliers;
+    for (int r = 1; r <= 5; ++r) {
+      regions.push_back({Value(r), Value("region-" + std::to_string(r))});
+    }
+    for (int n = 1; n <= 25; ++n) {
+      nations.push_back({Value(n), Value("nation-" + std::to_string(n)),
+                         Value(1 + (n % 5))});
+    }
+    for (int s = 1; s <= 100; ++s) {
+      suppliers.push_back({Value(s), Value("supplier-" + std::to_string(s)),
+                           Value(1 + (s % 25)), Value(1000.0)});
+    }
+    VEDB_RETURN_IF_ERROR(region_->BulkLoad(regions));
+    VEDB_RETURN_IF_ERROR(nation_->BulkLoad(nations));
+    VEDB_RETURN_IF_ERROR(supplier_->BulkLoad(suppliers));
+  }
+  return Status::OK();
+}
+
+Status TpccDriver::RunMixed(TxnType* type_out) {
+  const uint64_t roll = rng_.Uniform(100);
+  TxnType type;
+  if (roll < 45) {
+    type = TxnType::kNewOrder;
+  } else if (roll < 88) {
+    type = TxnType::kPayment;
+  } else if (roll < 92) {
+    type = TxnType::kOrderStatus;
+  } else if (roll < 96) {
+    type = TxnType::kDelivery;
+  } else {
+    type = TxnType::kStockLevel;
+  }
+  if (type_out != nullptr) *type_out = type;
+  switch (type) {
+    case TxnType::kNewOrder: return RunNewOrder();
+    case TxnType::kPayment: return RunPayment();
+    case TxnType::kOrderStatus: return RunOrderStatus();
+    case TxnType::kDelivery: return RunDelivery();
+    case TxnType::kStockLevel: return RunStockLevel();
+  }
+  return Status::OK();
+}
+
+Status TpccDriver::RunNewOrder() {
+  const int w = RandomWarehouse();
+  const int d = RandomDistrict();
+  const int c = RandomCustomer();
+  const int ol_cnt = static_cast<int>(rng_.UniformRange(5, 15));
+  struct Line {
+    int i_id;
+    int supply_w;
+    int qty;
+  };
+  std::vector<Line> lines;
+  for (int i = 0; i < ol_cnt; ++i) {
+    Line line;
+    line.i_id = RandomItem();
+    line.supply_w = (db_->scale().warehouses > 1 && rng_.Bernoulli(0.01))
+                        ? RandomWarehouse()
+                        : w;
+    line.qty = static_cast<int>(rng_.UniformRange(1, 10));
+    lines.push_back(line);
+  }
+
+  return db_->engine()->RunTransaction([&](Txn* txn) -> Status {
+    // District: read tax, take the next order id (per-district hot row).
+    int64_t o_id = 0;
+    VEDB_RETURN_IF_ERROR(db_->district()->Update(
+        txn, {Value(w), Value(d)}, [&](Row* row) {
+          o_id = (*row)[5].AsInt();
+          (*row)[5] = Value(o_id + 1);
+        }));
+    // Customer / warehouse reads.
+    VEDB_RETURN_IF_ERROR(
+        db_->warehouse()->Get(txn, {Value(w)}).status());
+    VEDB_RETURN_IF_ERROR(
+        db_->customer()->Get(txn, {Value(w), Value(d), Value(c)}).status());
+
+    double total = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const Line& line = lines[i];
+      VEDB_ASSIGN_OR_RETURN(Row item,
+                            db_->item()->Get(txn, {Value(line.i_id)}));
+      const double price = item[2].AsDouble();
+      VEDB_RETURN_IF_ERROR(db_->stock()->Update(
+          txn, {Value(line.supply_w), Value(line.i_id)}, [&](Row* row) {
+            int64_t qty = (*row)[2].AsInt();
+            qty = qty >= line.qty + 10 ? qty - line.qty
+                                       : qty - line.qty + 91;
+            (*row)[2] = Value(qty);
+            (*row)[3] = Value((*row)[3].AsDouble() + line.qty);
+            (*row)[4] = Value((*row)[4].AsInt() + 1);
+            if (line.supply_w != w) {
+              (*row)[5] = Value((*row)[5].AsInt() + 1);
+            }
+          }));
+      const double amount = price * line.qty;
+      total += amount;
+      VEDB_RETURN_IF_ERROR(db_->orderline()->Insert(
+          txn, {Value(w), Value(d), Value(o_id),
+                Value(static_cast<int64_t>(i + 1)), Value(line.i_id),
+                Value(line.supply_w), Value(line.qty), Value(amount),
+                Value(0)}));
+    }
+    (void)total;
+    VEDB_RETURN_IF_ERROR(db_->orders()->Insert(
+        txn, {Value(w), Value(d), Value(o_id), Value(c), Value(o_id * 1000),
+              Value(0), Value(static_cast<int64_t>(lines.size()))}));
+    return db_->neworder()->Insert(txn, {Value(w), Value(d), Value(o_id)});
+  });
+}
+
+Status TpccDriver::RunPayment() {
+  const int w = RandomWarehouse();
+  const int d = RandomDistrict();
+  const double amount = 1.0 + rng_.NextDouble() * 4999.0;
+  // 15% remote customer per spec; simplified to local.
+  const int cw = w, cd = d;
+
+  int c_id;
+  if (rng_.Bernoulli(0.6)) {
+    // By last name: pick the middle match via the secondary index.
+    const std::string last =
+        TpccLastName(static_cast<int>(rng_.NonUniform(255, 0, 999)));
+    auto rows = db_->customer()->IndexLookup(
+        "by_last", {Value(cw), Value(cd), Value(last)});
+    if (!rows.ok() || rows->empty()) {
+      c_id = RandomCustomer();
+    } else {
+      std::sort(rows->begin(), rows->end(),
+                [](const Row& a, const Row& b) {
+                  return a[4].AsString() < b[4].AsString();
+                });
+      c_id = static_cast<int>((*rows)[rows->size() / 2][2].AsInt());
+    }
+  } else {
+    c_id = RandomCustomer();
+  }
+
+  const int64_t h_id = static_cast<int64_t>(rng_.Next() >> 1);
+  return db_->engine()->RunTransaction([&](Txn* txn) -> Status {
+    VEDB_RETURN_IF_ERROR(db_->warehouse()->Update(
+        txn, {Value(w)},
+        [&](Row* row) { (*row)[3] = Value((*row)[3].AsDouble() + amount); }));
+    VEDB_RETURN_IF_ERROR(db_->district()->Update(
+        txn, {Value(w), Value(d)},
+        [&](Row* row) { (*row)[4] = Value((*row)[4].AsDouble() + amount); }));
+    VEDB_RETURN_IF_ERROR(db_->customer()->Update(
+        txn, {Value(cw), Value(cd), Value(c_id)}, [&](Row* row) {
+          (*row)[5] = Value((*row)[5].AsDouble() - amount);
+          (*row)[6] = Value((*row)[6].AsDouble() + amount);
+          (*row)[7] = Value((*row)[7].AsInt() + 1);
+        }));
+    return db_->history()->Insert(txn, {Value(h_id), Value(cw), Value(cd),
+                                        Value(c_id), Value(amount),
+                                        Value("payment")});
+  });
+}
+
+Status TpccDriver::RunOrderStatus() {
+  const int w = RandomWarehouse();
+  const int d = RandomDistrict();
+  const int c = RandomCustomer();
+
+  // Latest order of the customer via the (w, d, c) index.
+  auto orders = db_->orders()->IndexLookup("by_customer",
+                                           {Value(w), Value(d), Value(c)});
+  VEDB_RETURN_IF_ERROR(orders.status());
+  VEDB_RETURN_IF_ERROR(
+      db_->customer()->Get(nullptr, {Value(w), Value(d), Value(c)}).status());
+  if (orders->empty()) return Status::OK();
+  int64_t o_id = 0;
+  for (const Row& row : *orders) o_id = std::max(o_id, row[2].AsInt());
+
+  // Read its order lines with a PK range scan.
+  const std::string lo = engine::MakeKey({Value(w), Value(d), Value(o_id)});
+  const std::string hi =
+      engine::MakeKey({Value(w), Value(d), Value(o_id + 1)});
+  int read = 0;
+  VEDB_RETURN_IF_ERROR(db_->orderline()->ScanPkRange(
+      lo, hi, [&](const Row&) {
+        read++;
+        return true;
+      }));
+  return Status::OK();
+}
+
+Status TpccDriver::RunDelivery() {
+  const int w = RandomWarehouse();
+  const int carrier = static_cast<int>(rng_.UniformRange(1, 10));
+  // Deliver the oldest undelivered order in each district.
+  for (int d = 1; d <= db_->scale().districts_per_warehouse; ++d) {
+    // Find the oldest NEW-ORDER via a bounded PK range scan.
+    int64_t o_id = -1;
+    const std::string lo = engine::MakeKey({Value(w), Value(d), Value(0)});
+    const std::string hi =
+        engine::MakeKey({Value(w), Value(d), Value(INT32_MAX)});
+    VEDB_RETURN_IF_ERROR(db_->neworder()->ScanPkRange(
+        lo, hi, [&](const Row& row) {
+          o_id = row[2].AsInt();
+          return false;  // first = oldest
+        }));
+    if (o_id < 0) continue;  // nothing to deliver in this district
+
+    Status s = db_->engine()->RunTransaction([&](Txn* txn) -> Status {
+      Status del = db_->neworder()->Delete(txn, {Value(w), Value(d),
+                                                 Value(o_id)});
+      if (del.IsNotFound()) return Status::OK();  // raced with another client
+      VEDB_RETURN_IF_ERROR(del);
+      int64_t c_id = 0;
+      VEDB_RETURN_IF_ERROR(db_->orders()->Update(
+          txn, {Value(w), Value(d), Value(o_id)}, [&](Row* row) {
+            c_id = (*row)[3].AsInt();
+            (*row)[5] = Value(carrier);
+          }));
+      // Sum the order's lines and stamp delivery dates.
+      double total = 0;
+      const std::string ol_lo =
+          engine::MakeKey({Value(w), Value(d), Value(o_id)});
+      const std::string ol_hi =
+          engine::MakeKey({Value(w), Value(d), Value(o_id + 1)});
+      std::vector<int64_t> ol_numbers;
+      VEDB_RETURN_IF_ERROR(db_->orderline()->ScanPkRange(
+          ol_lo, ol_hi, [&](const Row& row) {
+            total += row[7].AsDouble();
+            ol_numbers.push_back(row[3].AsInt());
+            return true;
+          }));
+      for (int64_t ol : ol_numbers) {
+        VEDB_RETURN_IF_ERROR(db_->orderline()->Update(
+            txn, {Value(w), Value(d), Value(o_id), Value(ol)},
+            [&](Row* row) { (*row)[8] = Value(o_id * 1000 + 777); }));
+      }
+      return db_->customer()->Update(
+          txn, {Value(w), Value(d), Value(c_id)}, [&](Row* row) {
+            (*row)[5] = Value((*row)[5].AsDouble() + total);
+            (*row)[8] = Value((*row)[8].AsInt() + 1);
+          });
+    });
+    VEDB_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+Status TpccDriver::RunStockLevel() {
+  const int w = RandomWarehouse();
+  const int d = RandomDistrict();
+  const int threshold = static_cast<int>(rng_.UniformRange(10, 20));
+
+  VEDB_ASSIGN_OR_RETURN(Row district,
+                        db_->district()->Get(nullptr, {Value(w), Value(d)}));
+  const int64_t next_o_id = district[5].AsInt();
+
+  // Items of the last 20 orders.
+  std::set<int64_t> items;
+  const std::string lo = engine::MakeKey(
+      {Value(w), Value(d), Value(std::max<int64_t>(1, next_o_id - 20))});
+  const std::string hi =
+      engine::MakeKey({Value(w), Value(d), Value(next_o_id)});
+  VEDB_RETURN_IF_ERROR(db_->orderline()->ScanPkRange(
+      lo, hi, [&](const Row& row) {
+        items.insert(row[4].AsInt());
+        return true;
+      }));
+  int low_stock = 0;
+  for (int64_t i : items) {
+    auto stock = db_->stock()->Get(nullptr, {Value(w), Value(i)});
+    if (stock.ok() && (*stock)[2].AsInt() < threshold) low_stock++;
+  }
+  return Status::OK();
+}
+
+}  // namespace vedb::workload

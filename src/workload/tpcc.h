@@ -1,0 +1,122 @@
+// TPC-C workload: the nine-table schema, a scaled-down loader, and the five
+// transaction profiles with the standard mix. Drives Figures 6-7 and serves
+// as the TP side of the CH-benCHmark (Figures 10-11, 14).
+
+#ifndef VEDB_WORKLOAD_TPCC_H_
+#define VEDB_WORKLOAD_TPCC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "engine/engine.h"
+
+namespace vedb::workload {
+
+struct TpccScale {
+  int warehouses = 4;
+  int districts_per_warehouse = 10;
+  /// Spec: 3000; scaled for simulation.
+  int customers_per_district = 120;
+  /// Spec: 100000.
+  int items = 1000;
+  /// Initial orders per district (spec: 3000).
+  int initial_orders_per_district = 40;
+};
+
+/// Creates the TPC-C tables (and CH extensions when `with_ch_tables`) on
+/// `engine` and bulk loads them.
+class TpccDatabase {
+ public:
+  TpccDatabase(engine::DBEngine* engine, const TpccScale& scale,
+               uint64_t seed, bool with_ch_tables = false);
+
+  Status Load();
+
+  engine::DBEngine* engine() { return engine_; }
+  const TpccScale& scale() const { return scale_; }
+
+  engine::Table* warehouse() { return warehouse_; }
+  engine::Table* district() { return district_; }
+  engine::Table* customer() { return customer_; }
+  engine::Table* history() { return history_; }
+  engine::Table* neworder() { return neworder_; }
+  engine::Table* orders() { return orders_; }
+  engine::Table* orderline() { return orderline_; }
+  engine::Table* item() { return item_; }
+  engine::Table* stock() { return stock_; }
+  engine::Table* supplier() { return supplier_; }
+  engine::Table* nation() { return nation_; }
+  engine::Table* region() { return region_; }
+
+  /// Declares the catalog only (no data); used by recovery paths.
+  static void DeclareTables(engine::DBEngine* engine, bool with_ch_tables);
+
+ private:
+  engine::DBEngine* engine_;
+  TpccScale scale_;
+  Random rng_;
+  bool with_ch_tables_;
+
+  engine::Table* warehouse_ = nullptr;
+  engine::Table* district_ = nullptr;
+  engine::Table* customer_ = nullptr;
+  engine::Table* history_ = nullptr;
+  engine::Table* neworder_ = nullptr;
+  engine::Table* orders_ = nullptr;
+  engine::Table* orderline_ = nullptr;
+  engine::Table* item_ = nullptr;
+  engine::Table* stock_ = nullptr;
+  engine::Table* supplier_ = nullptr;
+  engine::Table* nation_ = nullptr;
+  engine::Table* region_ = nullptr;
+};
+
+/// One client connection executing TPC-C transactions. Not thread safe; one
+/// driver per client actor.
+class TpccDriver {
+ public:
+  enum class TxnType { kNewOrder, kPayment, kOrderStatus, kDelivery, kStockLevel };
+
+  TpccDriver(TpccDatabase* db, uint64_t seed) : db_(db), rng_(seed) {}
+
+  /// Executes one transaction of the standard mix (45/43/4/4/4) and returns
+  /// its type via `type_out`.
+  Status RunMixed(TxnType* type_out);
+
+  Status RunNewOrder();
+  Status RunPayment();
+  Status RunOrderStatus();
+  Status RunDelivery();
+  Status RunStockLevel();
+
+ private:
+  int RandomWarehouse() {
+    return static_cast<int>(rng_.UniformRange(1, db_->scale().warehouses));
+  }
+  int RandomDistrict() {
+    return static_cast<int>(
+        rng_.UniformRange(1, db_->scale().districts_per_warehouse));
+  }
+  int RandomCustomer() {
+    return static_cast<int>(
+        rng_.NonUniform(255, 1, db_->scale().customers_per_district));
+  }
+  int RandomItem() {
+    return static_cast<int>(rng_.NonUniform(511, 1, db_->scale().items));
+  }
+
+  TpccDatabase* db_;
+  Random rng_;
+  // Per-district delivery cursor (oldest undelivered order id).
+  std::map<std::pair<int, int>, int64_t> delivery_cursor_;
+};
+
+/// TPC-C customer last names per the spec's syllable table.
+std::string TpccLastName(int num);
+
+}  // namespace vedb::workload
+
+#endif  // VEDB_WORKLOAD_TPCC_H_

@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+: > results/time3.log
+for b in bench_fig8_order_processing bench_fig10_tpcch_ap_impact bench_fig12_ebp_size; do
+  s=$SECONDS
+  timeout 1800 ./build/bench/$b > results/$b.txt 2>&1
+  echo "$b exit=$? wall=$((SECONDS-s))s" >> results/time3.log
+done
+echo TIME3_DONE >> results/time3.log
