@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_segmentring.dir/bench_ablation_segmentring.cc.o"
+  "CMakeFiles/bench_ablation_segmentring.dir/bench_ablation_segmentring.cc.o.d"
+  "bench_ablation_segmentring"
+  "bench_ablation_segmentring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_segmentring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

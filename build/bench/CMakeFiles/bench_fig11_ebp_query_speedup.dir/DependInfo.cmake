@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_ebp_query_speedup.cc" "bench/CMakeFiles/bench_fig11_ebp_query_speedup.dir/bench_fig11_ebp_query_speedup.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_ebp_query_speedup.dir/bench_fig11_ebp_query_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/vedb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/vedb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vedb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagestore/CMakeFiles/vedb_pagestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/logstore/CMakeFiles/vedb_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/vedb_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebp/CMakeFiles/vedb_ebp.dir/DependInfo.cmake"
+  "/root/repo/build/src/astore/CMakeFiles/vedb_astore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vedb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/vedb_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vedb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vedb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

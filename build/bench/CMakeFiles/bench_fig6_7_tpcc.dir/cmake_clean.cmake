@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_tpcc.dir/bench_fig6_7_tpcc.cc.o"
+  "CMakeFiles/bench_fig6_7_tpcc.dir/bench_fig6_7_tpcc.cc.o.d"
+  "bench_fig6_7_tpcc"
+  "bench_fig6_7_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_advertisement.dir/bench_fig9_advertisement.cc.o"
+  "CMakeFiles/bench_fig9_advertisement.dir/bench_fig9_advertisement.cc.o.d"
+  "bench_fig9_advertisement"
+  "bench_fig9_advertisement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_advertisement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/astore/client.cc" "src/astore/CMakeFiles/vedb_astore.dir/client.cc.o" "gcc" "src/astore/CMakeFiles/vedb_astore.dir/client.cc.o.d"
+  "/root/repo/src/astore/cluster_manager.cc" "src/astore/CMakeFiles/vedb_astore.dir/cluster_manager.cc.o" "gcc" "src/astore/CMakeFiles/vedb_astore.dir/cluster_manager.cc.o.d"
+  "/root/repo/src/astore/segment_ring.cc" "src/astore/CMakeFiles/vedb_astore.dir/segment_ring.cc.o" "gcc" "src/astore/CMakeFiles/vedb_astore.dir/segment_ring.cc.o.d"
+  "/root/repo/src/astore/server.cc" "src/astore/CMakeFiles/vedb_astore.dir/server.cc.o" "gcc" "src/astore/CMakeFiles/vedb_astore.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vedb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vedb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vedb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/vedb_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

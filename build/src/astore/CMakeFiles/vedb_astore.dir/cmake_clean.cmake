@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_astore.dir/client.cc.o"
+  "CMakeFiles/vedb_astore.dir/client.cc.o.d"
+  "CMakeFiles/vedb_astore.dir/cluster_manager.cc.o"
+  "CMakeFiles/vedb_astore.dir/cluster_manager.cc.o.d"
+  "CMakeFiles/vedb_astore.dir/segment_ring.cc.o"
+  "CMakeFiles/vedb_astore.dir/segment_ring.cc.o.d"
+  "CMakeFiles/vedb_astore.dir/server.cc.o"
+  "CMakeFiles/vedb_astore.dir/server.cc.o.d"
+  "libvedb_astore.a"
+  "libvedb_astore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_astore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_blob.dir/blob_store.cc.o"
+  "CMakeFiles/vedb_blob.dir/blob_store.cc.o.d"
+  "libvedb_blob.a"
+  "libvedb_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

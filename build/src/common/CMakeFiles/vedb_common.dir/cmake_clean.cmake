@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_common.dir/coding.cc.o"
+  "CMakeFiles/vedb_common.dir/coding.cc.o.d"
+  "CMakeFiles/vedb_common.dir/crc32.cc.o"
+  "CMakeFiles/vedb_common.dir/crc32.cc.o.d"
+  "CMakeFiles/vedb_common.dir/histogram.cc.o"
+  "CMakeFiles/vedb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/vedb_common.dir/logging.cc.o"
+  "CMakeFiles/vedb_common.dir/logging.cc.o.d"
+  "CMakeFiles/vedb_common.dir/random.cc.o"
+  "CMakeFiles/vedb_common.dir/random.cc.o.d"
+  "CMakeFiles/vedb_common.dir/status.cc.o"
+  "CMakeFiles/vedb_common.dir/status.cc.o.d"
+  "libvedb_common.a"
+  "libvedb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

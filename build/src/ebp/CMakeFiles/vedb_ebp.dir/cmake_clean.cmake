@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_ebp.dir/ebp.cc.o"
+  "CMakeFiles/vedb_ebp.dir/ebp.cc.o.d"
+  "libvedb_ebp.a"
+  "libvedb_ebp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_ebp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

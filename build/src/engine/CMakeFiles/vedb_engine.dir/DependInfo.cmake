@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/buffer_pool.cc" "src/engine/CMakeFiles/vedb_engine.dir/buffer_pool.cc.o" "gcc" "src/engine/CMakeFiles/vedb_engine.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/vedb_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/vedb_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/lock_manager.cc" "src/engine/CMakeFiles/vedb_engine.dir/lock_manager.cc.o" "gcc" "src/engine/CMakeFiles/vedb_engine.dir/lock_manager.cc.o.d"
+  "/root/repo/src/engine/page.cc" "src/engine/CMakeFiles/vedb_engine.dir/page.cc.o" "gcc" "src/engine/CMakeFiles/vedb_engine.dir/page.cc.o.d"
+  "/root/repo/src/engine/redo.cc" "src/engine/CMakeFiles/vedb_engine.dir/redo.cc.o" "gcc" "src/engine/CMakeFiles/vedb_engine.dir/redo.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/vedb_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/vedb_engine.dir/table.cc.o.d"
+  "/root/repo/src/engine/types.cc" "src/engine/CMakeFiles/vedb_engine.dir/types.cc.o" "gcc" "src/engine/CMakeFiles/vedb_engine.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vedb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vedb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/logstore/CMakeFiles/vedb_logstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/pagestore/CMakeFiles/vedb_pagestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ebp/CMakeFiles/vedb_ebp.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/vedb_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/astore/CMakeFiles/vedb_astore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vedb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/vedb_pmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_engine.dir/buffer_pool.cc.o"
+  "CMakeFiles/vedb_engine.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/vedb_engine.dir/engine.cc.o"
+  "CMakeFiles/vedb_engine.dir/engine.cc.o.d"
+  "CMakeFiles/vedb_engine.dir/lock_manager.cc.o"
+  "CMakeFiles/vedb_engine.dir/lock_manager.cc.o.d"
+  "CMakeFiles/vedb_engine.dir/page.cc.o"
+  "CMakeFiles/vedb_engine.dir/page.cc.o.d"
+  "CMakeFiles/vedb_engine.dir/redo.cc.o"
+  "CMakeFiles/vedb_engine.dir/redo.cc.o.d"
+  "CMakeFiles/vedb_engine.dir/table.cc.o"
+  "CMakeFiles/vedb_engine.dir/table.cc.o.d"
+  "CMakeFiles/vedb_engine.dir/types.cc.o"
+  "CMakeFiles/vedb_engine.dir/types.cc.o.d"
+  "libvedb_engine.a"
+  "libvedb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_logstore.dir/logstore.cc.o"
+  "CMakeFiles/vedb_logstore.dir/logstore.cc.o.d"
+  "libvedb_logstore.a"
+  "libvedb_logstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_logstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

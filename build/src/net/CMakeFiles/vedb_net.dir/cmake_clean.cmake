@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_net.dir/rdma.cc.o"
+  "CMakeFiles/vedb_net.dir/rdma.cc.o.d"
+  "CMakeFiles/vedb_net.dir/rpc.cc.o"
+  "CMakeFiles/vedb_net.dir/rpc.cc.o.d"
+  "libvedb_net.a"
+  "libvedb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

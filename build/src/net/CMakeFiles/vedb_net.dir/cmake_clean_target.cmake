@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvedb_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_pagestore.dir/pagestore.cc.o"
+  "CMakeFiles/vedb_pagestore.dir/pagestore.cc.o.d"
+  "libvedb_pagestore.a"
+  "libvedb_pagestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_pagestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_pmem.dir/pmem_device.cc.o"
+  "CMakeFiles/vedb_pmem.dir/pmem_device.cc.o.d"
+  "libvedb_pmem.a"
+  "libvedb_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_query.dir/expr.cc.o"
+  "CMakeFiles/vedb_query.dir/expr.cc.o.d"
+  "CMakeFiles/vedb_query.dir/plan.cc.o"
+  "CMakeFiles/vedb_query.dir/plan.cc.o.d"
+  "CMakeFiles/vedb_query.dir/pushdown.cc.o"
+  "CMakeFiles/vedb_query.dir/pushdown.cc.o.d"
+  "libvedb_query.a"
+  "libvedb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

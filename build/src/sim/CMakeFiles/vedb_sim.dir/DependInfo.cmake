@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cc" "src/sim/CMakeFiles/vedb_sim.dir/clock.cc.o" "gcc" "src/sim/CMakeFiles/vedb_sim.dir/clock.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/vedb_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/vedb_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/env.cc" "src/sim/CMakeFiles/vedb_sim.dir/env.cc.o" "gcc" "src/sim/CMakeFiles/vedb_sim.dir/env.cc.o.d"
+  "/root/repo/src/sim/fault.cc" "src/sim/CMakeFiles/vedb_sim.dir/fault.cc.o" "gcc" "src/sim/CMakeFiles/vedb_sim.dir/fault.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vedb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

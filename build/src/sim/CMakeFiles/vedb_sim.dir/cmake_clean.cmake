@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_sim.dir/clock.cc.o"
+  "CMakeFiles/vedb_sim.dir/clock.cc.o.d"
+  "CMakeFiles/vedb_sim.dir/device.cc.o"
+  "CMakeFiles/vedb_sim.dir/device.cc.o.d"
+  "CMakeFiles/vedb_sim.dir/env.cc.o"
+  "CMakeFiles/vedb_sim.dir/env.cc.o.d"
+  "CMakeFiles/vedb_sim.dir/fault.cc.o"
+  "CMakeFiles/vedb_sim.dir/fault.cc.o.d"
+  "libvedb_sim.a"
+  "libvedb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vedb_workload.dir/cluster.cc.o"
+  "CMakeFiles/vedb_workload.dir/cluster.cc.o.d"
+  "CMakeFiles/vedb_workload.dir/internal.cc.o"
+  "CMakeFiles/vedb_workload.dir/internal.cc.o.d"
+  "CMakeFiles/vedb_workload.dir/standby.cc.o"
+  "CMakeFiles/vedb_workload.dir/standby.cc.o.d"
+  "CMakeFiles/vedb_workload.dir/tpcc.cc.o"
+  "CMakeFiles/vedb_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/vedb_workload.dir/tpcch.cc.o"
+  "CMakeFiles/vedb_workload.dir/tpcch.cc.o.d"
+  "libvedb_workload.a"
+  "libvedb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vedb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astore_test.dir/astore_test.cc.o"
+  "CMakeFiles/astore_test.dir/astore_test.cc.o.d"
+  "astore_test"
+  "astore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebp_test.dir/ebp_test.cc.o"
+  "CMakeFiles/ebp_test.dir/ebp_test.cc.o.d"
+  "ebp_test"
+  "ebp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
