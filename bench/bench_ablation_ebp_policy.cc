@@ -55,7 +55,8 @@ struct EbpRig {
         &env, rpc.get(), fabric.get(), cm_node, env.AddNode("dbe", dbe_cfg),
         1, astore::AStoreClient::Options{});
     env.clock()->RegisterActor();
-    client->Connect();
+    // discard-ok: the sim CM is always reachable during setup.
+    (void)client->Connect();
     pool = std::make_unique<ebp::ExtendedBufferPool>(&env, client.get(),
                                                      opts);
   }
@@ -78,15 +79,17 @@ double RunPolicy(ebp::ExtendedBufferPool::Policy policy, int lru_shards) {
 
   // The push-down table's pages are cached at high priority.
   for (int p = 0; p < kHotPages; ++p) {
-    rig.pool->PutPage(1000000 + p, 1, Slice(hot_image), /*priority=*/3);
+    // discard-ok: cache warm-up; a failed put only skews the baseline.
+    (void)rig.pool->PutPage(1000000 + p, 1, Slice(hot_image), /*priority=*/3);
   }
   uint64_t hits = 0, probes = 0;
   Random rng(9);
   for (int round = 0; round < 20; ++round) {
     // OLTP churn: low-priority evictions flood the EBP.
     for (int i = 0; i < 40; ++i) {
-      rig.pool->PutPage(rng.Uniform(100000), 1, Slice(churn_image),
-                        /*priority=*/0);
+      // discard-ok: churn traffic; NoSpace is the expected steady state.
+      (void)rig.pool->PutPage(rng.Uniform(100000), 1, Slice(churn_image),
+                              /*priority=*/0);
     }
     // The next push-down query probes the hot table.
     for (int p = 0; p < kHotPages; ++p) {

@@ -1,0 +1,11 @@
+// Lint fixture: seeds exactly one pmem-api-bypass violation.
+// Calls PmemDevice::WriteFromRemote from outside src/pmem and src/net.
+namespace fixture {
+struct PmemDevice {
+  int WriteFromRemote(unsigned long offset, const char* data);
+};
+
+int BadBypass(PmemDevice* dev, const char* data) {
+  return dev->WriteFromRemote(0, data);  // violation: fabric-only entry point
+}
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Lint fixture: a file none of the lint rules may flag.
+namespace fixture {
+struct Status {
+  bool ok() const { return true; }
+};
+Status DoWork();
+
+int Clean() {
+  int unused = 0;
+  (void)unused;  // plain variable silencing: not a discarded call
+  // discard-ok: best-effort call in a fixture.
+  (void)DoWork();
+  return 0;
+}
+}  // namespace fixture

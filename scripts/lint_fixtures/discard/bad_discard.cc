@@ -1,0 +1,17 @@
+// Lint fixture: seeds exactly one status-discard violation.
+// The first (void) cast has no discard-ok justification.
+namespace fixture {
+struct Status {
+  bool ok() const { return true; }
+};
+Status DoWork();
+
+void BadDiscard() {
+  (void)DoWork();  // violation: no justification for dropping the Status
+}
+
+void GoodDiscard() {
+  // discard-ok: fixture demonstrating a justified discard.
+  (void)DoWork();
+}
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Lint fixture: seeds exactly one pmem-raw-write violation.
+// scripts/lint.sh --self-test must report the memcpy below.
+#include <cstring>
+
+void BadRawWrite(char* pmem_base, const char* src, unsigned long n) {
+  memcpy(pmem_base, src, n);  // violation: raw write above the PMem API
+}
+
+void WaivedVolatileCopy(char* scratch, const char* src, unsigned long n) {
+  memcpy(scratch, src, n);  // pmem-ok: DRAM scratch buffer, never persisted
+}

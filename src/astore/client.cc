@@ -150,6 +150,32 @@ Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
       return s;
     }
   }
+
+  // All replicas reported completion: this is the point where the write is
+  // acknowledged as durable to the caller. The persist checker validates
+  // that the payload and io-meta actually entered every replica's
+  // persistence domain — with DDIO left enabled the flush READ is a no-op
+  // and this trips immediately, which is exactly the bug class the paper's
+  // DDIO-off deployment exists to prevent.
+  for (const auto& loc : route.replicas) {
+    VEDB_RETURN_IF_ERROR(fabric_->VerifyPersisted(
+        loc.region, loc.base_offset + offset, data.size(),
+        "astore.client.ack/payload"));
+    VEDB_RETURN_IF_ERROR(fabric_->VerifyPersisted(
+        loc.region, loc.io_meta_offset, io_meta.size(),
+        "astore.client.ack/io_meta"));
+  }
+  return Status::OK();
+}
+
+Status AStoreClient::VerifyPersisted(const SegmentHandlePtr& handle,
+                                     uint64_t offset, uint64_t len,
+                                     std::string_view context) {
+  SegmentRoute route = handle->route();
+  for (const auto& loc : route.replicas) {
+    VEDB_RETURN_IF_ERROR(fabric_->VerifyPersisted(
+        loc.region, loc.base_offset + offset, len, context));
+  }
   return Status::OK();
 }
 
@@ -244,7 +270,9 @@ void AStoreClient::BackgroundLoop() {
     RefreshRoutes();
     Timestamp now = env_->clock()->Now();
     if (now - last_lease >= options_.lease_renew_interval) {
-      RenewLease();
+      // discard-ok: a failed renewal is retried next period; writes fence
+      // themselves on LeaseValid().
+      (void)RenewLease();
       last_lease = now;
     }
   }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "astore/segment.h"
@@ -124,6 +125,13 @@ class AStoreClient {
 
   /// Deletes the segment cluster-wide and marks the handle stale.
   Status Delete(const SegmentHandlePtr& handle);
+
+  /// Persistence-ordering check: validates that segment bytes
+  /// [offset, offset+len) are in the persistence domain on every replica.
+  /// Commit paths (e.g. SegmentRing) call this before exposing an LSN as
+  /// durable; Corruption means the commit would be premature.
+  Status VerifyPersisted(const SegmentHandlePtr& handle, uint64_t offset,
+                         uint64_t len, std::string_view context);
 
   /// One route-refresh pass over all open segments (also run by the
   /// background task): picks up epoch changes, deletions, and ownership

@@ -5,6 +5,7 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "sim/race_detector.h"
 
 namespace vedb::astore {
 
@@ -58,7 +59,9 @@ Result<std::unique_ptr<SegmentRing>> SegmentRing::Create(
 }
 
 std::vector<SegmentId> SegmentRing::segment_ids() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&segments_, sizeof(segments_), /*is_write=*/false,
+                    "SegmentRing::segment_ids");
   std::vector<SegmentId> ids;
   ids.reserve(segments_.size());
   for (const auto& seg : segments_) ids.push_back(seg->id());
@@ -75,7 +78,11 @@ Status SegmentRing::ReplaceSegmentSlot(size_t idx,
       client_->CreateSegment(options_.segment_size, options_.replication));
   VEDB_RETURN_IF_ERROR(
       client_->WriteAt(fresh, 0, EncodeHeader(SegmentStatus::kEmpty, 0)));
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&cur_offset_, sizeof(cur_offset_), /*is_write=*/true,
+                    "SegmentRing::ReplaceSegmentSlot");
+  sim::RaceAnnotate(&segments_, sizeof(segments_), /*is_write=*/true,
+                    "SegmentRing::ReplaceSegmentSlot");
   if (segments_[idx] == broken) {
     segments_[idx] = std::move(fresh);
     slot_start_lsn_[idx] = 0;
@@ -96,7 +103,12 @@ Result<SegmentRing::Reservation> SegmentRing::Reserve(uint64_t lsn,
   }
   Reservation r;
   r.frame_size = frame_size;
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  // The ring cursor (cur_idx_/cur_offset_/slot_start_lsn_) is the hot
+  // shared state of the log write path; an unsynchronized reservation
+  // would hand two records the same bytes.
+  sim::RaceAnnotate(&cur_offset_, sizeof(cur_offset_), /*is_write=*/true,
+                    "SegmentRing::Reserve");
   if (cur_offset_ + frame_size > options_.segment_size) {
     // Advance the ring: freeze the current slot, recycle the next.
     r.to_mark_full = segments_[cur_idx_];
@@ -125,8 +137,9 @@ Status SegmentRing::CommitReserved(const Reservation& reservation,
              "reservation size mismatch");
 
   if (reservation.to_mark_full != nullptr) {
-    // Best effort; a lingering "in-use" status is tolerated by recovery.
-    client_->WriteAt(
+    // discard-ok: best effort; a lingering "in-use" status is tolerated by
+    // recovery.
+    (void)client_->WriteAt(
         reservation.to_mark_full, 0,
         EncodeHeader(SegmentStatus::kFull, reservation.full_start_lsn));
   }
@@ -140,7 +153,13 @@ Status SegmentRing::CommitReserved(const Reservation& reservation,
   }
   if (s.ok()) {
     s = client_->WriteAt(seg, reservation.offset, Slice(frame));
-    if (s.ok()) return Status::OK();
+    if (s.ok()) {
+      // Commit point: the LSN becomes visible as durable once we return
+      // OK, so the frame must be in the persistence domain on every
+      // replica. This is logstore's commit-path persist-ordering check.
+      return client_->VerifyPersisted(seg, reservation.offset, frame.size(),
+                                      "logstore.commit");
+    }
     if (!s.IsUnavailable() && !s.IsStale()) return s;
   }
 
@@ -152,7 +171,9 @@ Status SegmentRing::CommitReserved(const Reservation& reservation,
   bool found = false;
   size_t idx = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
+    sim::RaceAnnotate(&segments_, sizeof(segments_), /*is_write=*/false,
+                      "SegmentRing::CommitReserved");
     auto it = std::find(segments_.begin(), segments_.end(), seg);
     if (it != segments_.end()) {
       found = true;

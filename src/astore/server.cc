@@ -60,12 +60,14 @@ void AStoreServer::CleanExpiredLocked(Timestamp now) {
     if (it->second.pending_clean && it->second.clean_deadline <= now) {
       FreeExtentsLocked(it->second.base, it->second.size);
       // Invalidate the persisted segment-meta so a later RestartFromPmem
-      // does not resurrect a released segment.
+      // does not resurrect a released segment. An in-bounds local write
+      // cannot fail; treat anything else as a device bug.
       const std::string zeros(24, '\0');
-      pmem_->WriteLocal(ServerLayout::kSuperblockSize +
-                            it->second.io_meta_slot *
-                                ServerLayout::kIoMetaSlotSize,
-                        Slice(zeros));
+      Status s = pmem_->WriteLocal(ServerLayout::kSuperblockSize +
+                                       it->second.io_meta_slot *
+                                           ServerLayout::kIoMetaSlotSize,
+                                   Slice(zeros));
+      VEDB_CHECK(s.ok(), "segment-meta invalidation failed");
       it = segments_.erase(it);
     } else {
       ++it;
@@ -161,9 +163,13 @@ Result<ReplicaLocation> AStoreServer::Allocate(SegmentId id, uint64_t size) {
   PutFixed64(&meta, id);
   PutFixed64(&meta, base);
   PutFixed64(&meta, size);
-  pmem_->WriteLocal(ServerLayout::kSuperblockSize +
-                        seg.io_meta_slot * ServerLayout::kIoMetaSlotSize,
-                    Slice(meta));
+  const uint64_t meta_off = ServerLayout::kSuperblockSize +
+                            seg.io_meta_slot * ServerLayout::kIoMetaSlotSize;
+  VEDB_RETURN_IF_ERROR(pmem_->WriteLocal(meta_off, Slice(meta)));
+  // The RPC response is the durability ack for the segment-meta: validate
+  // the persist ordering before replying.
+  VEDB_RETURN_IF_ERROR(
+      pmem_->CheckPersisted(meta_off, meta.size(), "astore.server.alloc_ack"));
 
   ReplicaLocation loc;
   loc.node = node_->name();
@@ -195,10 +201,11 @@ void AStoreServer::ForceClean() {
     if (it->second.pending_clean) {
       FreeExtentsLocked(it->second.base, it->second.size);
       const std::string zeros(24, '\0');
-      pmem_->WriteLocal(ServerLayout::kSuperblockSize +
-                            it->second.io_meta_slot *
-                                ServerLayout::kIoMetaSlotSize,
-                        Slice(zeros));
+      Status s = pmem_->WriteLocal(ServerLayout::kSuperblockSize +
+                                       it->second.io_meta_slot *
+                                           ServerLayout::kIoMetaSlotSize,
+                                   Slice(zeros));
+      VEDB_CHECK(s.ok(), "segment-meta invalidation failed");
       it = segments_.erase(it);
     } else {
       ++it;
@@ -336,6 +343,10 @@ Status AStoreServer::HandlePull(Slice request, std::string* response) {
       fabric_->Read(node_, src_region, src_base, size, buf.data()));
   VEDB_RETURN_IF_ERROR(pmem_->WriteLocal(loc.base_offset, Slice(buf)));
   node_->storage()->Access(size);  // local PMem write cost
+
+  // The pull response tells the CM this replica is durable: check it.
+  VEDB_RETURN_IF_ERROR(
+      pmem_->CheckPersisted(loc.base_offset, size, "astore.server.pull_ack"));
 
   EncodeReplicaLocation(response, loc);
   return Status::OK();

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/random.h"
 
 namespace vedb::blob {
 
@@ -169,6 +170,30 @@ Status BlobStoreCluster::Read(sim::SimNode* client, BlobId id, uint64_t offset,
   if (target == nullptr) return Status::Unavailable("no live replica");
   std::string req = EncodeRead(id, offset, len);
   return rpc_->Call(client, target, "blob.read", Slice(req), out);
+}
+
+void BlobStoreCluster::Crash(uint64_t seed) {
+  Random rng(seed);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [id, blob] : blobs_) {
+    if (blob.data.empty()) continue;
+    // The agreed prefix: bytes present on every replica. An acked append
+    // was persisted by all replicas before the ack, so it is always inside.
+    uint64_t agreed = UINT64_MAX;
+    uint64_t longest = 0;
+    for (const auto& [name, content] : blob.data) {
+      agreed = std::min<uint64_t>(agreed, content.size());
+      longest = std::max<uint64_t>(longest, content.size());
+    }
+    // The torn tail: every replica sees garbage of the maximal in-flight
+    // length, modelling partially written SSD blocks after power loss.
+    for (auto& [name, content] : blob.data) {
+      content.resize(longest);
+      for (uint64_t i = agreed; i < longest; ++i) {
+        content[i] = static_cast<char>(rng.Next());
+      }
+    }
+  }
 }
 
 std::vector<sim::SimNode*> BlobStoreCluster::ReplicasOf(BlobId id) const {

@@ -58,6 +58,14 @@ class BlobStoreCluster {
   /// one scatter batch covering several chunks.
   std::vector<sim::SimNode*> ReplicasOf(BlobId id) const;
 
+  /// Simulates a simultaneous power failure of every data node. The prefix
+  /// every replica agrees on (which includes everything that was ever
+  /// acknowledged to a client) survives; the tail beyond it — torn appends
+  /// that reached only some replicas before the failure — comes back as
+  /// garbage of undefined length. Recovery code must reject that tail by
+  /// its own framing/CRC, never by trusting replica lengths.
+  void Crash(uint64_t seed = 11);
+
   net::RpcTransport* rpc() const { return rpc_; }
 
   const Options& options() const { return options_; }

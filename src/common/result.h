@@ -14,8 +14,9 @@ namespace vedb {
 
 /// Holds either a T (success) or a non-OK Status (failure).
 /// Constructing from an OK status is a programming error.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

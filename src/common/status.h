@@ -13,7 +13,12 @@ namespace vedb {
 
 /// A lightweight success-or-error value. Cheap to copy on the success path
 /// (no allocation); carries a code and a message on the failure path.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (the exact bug
+/// class scripts/lint.sh hunts). Genuinely best-effort call sites must
+/// discard explicitly with `(void)` and justify it with a `discard-ok`
+/// comment.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,

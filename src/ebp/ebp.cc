@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "sim/race_detector.h"
 
 namespace vedb::ebp {
 
@@ -47,7 +48,9 @@ EbpServerAgent::EbpServerAgent(sim::SimEnvironment* env,
 }
 
 uint64_t EbpServerAgent::ReportedLsn(PageKey key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&latest_lsn_, sizeof(latest_lsn_), /*is_write=*/false,
+                    "EbpServerAgent::ReportedLsn");
   auto it = latest_lsn_.find(key);
   return it == latest_lsn_.end() ? 0 : it->second;
 }
@@ -59,7 +62,9 @@ Status EbpServerAgent::HandleReport(Slice request, std::string* response) {
   }
   const uint32_t count = DecodeFixed32(raw.data());
   server_->node()->cpu()->Access(0, 200 * count);  // ~0.2us per entry
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&latest_lsn_, sizeof(latest_lsn_), /*is_write=*/true,
+                    "EbpServerAgent::HandleReport");
   for (uint32_t i = 0; i < count; ++i) {
     if (!GetFixedBytes(&request, 8, &raw)) {
       return Status::InvalidArgument("ebp report");
@@ -112,7 +117,9 @@ Status EbpServerAgent::HandleScan(Slice request, std::string* response) {
       if (off + PageFrame::kHeaderSize + len > size) break;
       bool stale;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        sim::RaceScopedLock lk(mu_);
+        sim::RaceAnnotate(&latest_lsn_, sizeof(latest_lsn_),
+                          /*is_write=*/false, "EbpServerAgent::HandleScan");
         auto it = latest_lsn_.find(key);
         // "Compares their LSNs with the one in memory, discards those with
         // older LSNs" (Section V-E).
@@ -161,19 +168,25 @@ ExtendedBufferPool::ExtendedBufferPool(sim::SimEnvironment* env,
 }
 
 ExtendedBufferPool::Stats ExtendedBufferPool::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
+                    "ExtendedBufferPool::stats");
   Stats s = stats_;
   s.live_bytes = live_bytes_;
   return s;
 }
 
 bool ExtendedBufferPool::Contains(PageKey key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
+                    "ExtendedBufferPool::Contains");
   return index_.count(key) != 0;
 }
 
 bool ExtendedBufferPool::LookupPlacement(PageKey key, Placement* out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
+                    "ExtendedBufferPool::LookupPlacement");
   auto it = index_.find(key);
   if (it == index_.end()) return false;
   const auto route = it->second.seg->route();
@@ -247,7 +260,9 @@ void ExtendedBufferPool::EvictLocked(uint64_t needed) {
 Result<astore::SegmentHandlePtr> ExtendedBufferPool::ActiveSegmentFor(
     uint64_t bytes, uint64_t* offset) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
+    sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                      "ExtendedBufferPool::ActiveSegmentFor");
     if (!segments_.empty()) {
       SegmentState& active = segments_.back();
       if (!active.handle->frozen() && !active.handle->stale() &&
@@ -263,7 +278,9 @@ Result<astore::SegmentHandlePtr> ExtendedBufferPool::ActiveSegmentFor(
   VEDB_ASSIGN_OR_RETURN(
       astore::SegmentHandlePtr handle,
       client_->CreateSegment(options_.segment_size, options_.replication));
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                    "ExtendedBufferPool::ActiveSegmentFor");
   segments_.push_back(SegmentState{handle, 0, 0, 0});
   SegmentState& active = segments_.back();
   if (active.used + bytes > options_.segment_size) {
@@ -286,7 +303,9 @@ Status ExtendedBufferPool::PutPage(PageKey key, uint64_t lsn, Slice image,
   lru_locks_[shard]->Access(0);
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
+    sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                      "ExtendedBufferPool::PutPage");
     // Replace any older version: its bytes become garbage.
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -322,7 +341,9 @@ Status ExtendedBufferPool::PutPage(PageKey key, uint64_t lsn, Slice image,
   Status s = client_->WriteAt(seg, offset, Slice(frame));
   if (!s.ok()) return s;  // cache write failure is benign; caller drops page
 
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                    "ExtendedBufferPool::PutPage/install");
   IndexEntry e;
   e.lsn = lsn;
   e.seg = seg;
@@ -347,7 +368,9 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
   uint32_t len = 0;
   const int shard = ShardOf(key);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
+    sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                      "ExtendedBufferPool::GetPage");
     auto it = index_.find(key);
     if (it == index_.end()) {
       stats_.misses++;
@@ -369,7 +392,7 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
   if (!s.ok()) {
     // A dead AStore server only costs hit rate, never correctness.
     Erase(key);
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
     stats_.misses++;
     return Status::NotFound("EBP replica unavailable");
   }
@@ -379,19 +402,21 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
   if (!PageFrame::Parse(Slice(buf), &got_key, &got_lsn, &got_len) ||
       got_key != key || got_len != len) {
     Erase(key);
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
     stats_.misses++;
     return Status::NotFound("EBP frame mismatch");
   }
   image->assign(buf.data() + PageFrame::kHeaderSize, len);
   if (lsn != nullptr) *lsn = got_lsn;
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
   stats_.hits++;
   return Status::OK();
 }
 
 std::vector<PageKey> ExtendedBufferPool::HottestKeys(size_t limit) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
+                    "ExtendedBufferPool::HottestKeys");
   std::vector<PageKey> keys;
   // Round-robin across the shard lists from their hot ends.
   std::vector<std::list<PageKey>::const_iterator> cursors;
@@ -411,7 +436,9 @@ std::vector<PageKey> ExtendedBufferPool::HottestKeys(size_t limit) const {
 }
 
 void ExtendedBufferPool::Erase(PageKey key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                    "ExtendedBufferPool::Erase");
   auto it = index_.find(key);
   if (it == index_.end()) return;
   IndexEntry& e = it->second;
@@ -430,7 +457,9 @@ void ExtendedBufferPool::Erase(PageKey key) {
 }
 
 void ExtendedBufferPool::NoteLatestLsn(PageKey key, uint64_t lsn) {
-  std::lock_guard<std::mutex> lk(report_mu_);
+  sim::RaceScopedLock lk(report_mu_);
+  sim::RaceAnnotate(&pending_reports_, sizeof(pending_reports_),
+                    /*is_write=*/true, "ExtendedBufferPool::NoteLatestLsn");
   uint64_t& cur = pending_reports_[key];
   cur = std::max(cur, lsn);
 }
@@ -438,7 +467,10 @@ void ExtendedBufferPool::NoteLatestLsn(PageKey key, uint64_t lsn) {
 Status ExtendedBufferPool::FlushLsnReports() {
   std::unordered_map<PageKey, uint64_t> batch;
   {
-    std::lock_guard<std::mutex> lk(report_mu_);
+    sim::RaceScopedLock lk(report_mu_);
+    sim::RaceAnnotate(&pending_reports_, sizeof(pending_reports_),
+                      /*is_write=*/true,
+                      "ExtendedBufferPool::FlushLsnReports");
     batch.swap(pending_reports_);
   }
   if (batch.empty()) return Status::OK();
@@ -453,7 +485,7 @@ Status ExtendedBufferPool::FlushLsnReports() {
   // Send to every node hosting one of our segments.
   std::set<std::string> nodes;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
     for (const auto& seg : segments_) {
       for (const auto& loc : seg.handle->route().replicas) {
         nodes.insert(loc.node);
@@ -462,8 +494,10 @@ Status ExtendedBufferPool::FlushLsnReports() {
   }
   for (const std::string& name : nodes) {
     std::string resp;
-    client_->rpc()->Call(client_->node(), env_->GetNode(name), "ebp.report",
-                Slice(req), &resp);
+    // discard-ok: LSN reports are advisory; a missed report only costs
+    // scan precision after a crash, never correctness.
+    (void)client_->rpc()->Call(client_->node(), env_->GetNode(name),
+                               "ebp.report", Slice(req), &resp);
   }
   return Status::OK();
 }
@@ -527,7 +561,9 @@ Status ExtendedBufferPool::RecoverFromServers(
     if (it == newest.end() || e.lsn > it->second.lsn) newest[e.key] = e;
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                    "ExtendedBufferPool::RecoverFromServers");
   index_.clear();
   for (auto& list : lru_) list.clear();
   segments_.clear();
@@ -582,7 +618,9 @@ Status ExtendedBufferPool::ReattachSegments(
     if (it == newest.end() || e.lsn > it->second.lsn) newest[e.key] = e;
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                    "ExtendedBufferPool::ReattachSegments");
   std::map<astore::SegmentId, size_t> seg_slot;
   for (size_t i = 0; i < segments_.size(); ++i) {
     seg_slot[segments_[i].handle->id()] = i;
@@ -642,7 +680,9 @@ Status ExtendedBufferPool::CompactOnce() {
   astore::SegmentHandlePtr victim;
   std::vector<std::pair<PageKey, IndexEntry>> live;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
+    sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
+                      "ExtendedBufferPool::CompactOnce/select");
     double worst_ratio = options_.garbage_threshold;
     size_t worst = segments_.size();
     for (size_t i = 0; i + 1 < segments_.size(); ++i) {  // skip active (last)
@@ -675,21 +715,26 @@ Status ExtendedBufferPool::CompactOnce() {
       // Re-insert only if the entry is still current (not replaced since).
       bool still_current;
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        sim::RaceScopedLock lk(mu_);
         auto it = index_.find(key);
         still_current = it != index_.end() && it->second.seg == victim &&
                         it->second.offset == e.offset;
       }
       if (still_current) {
-        PutPage(key, lsn, Slice(buf.data() + PageFrame::kHeaderSize, len),
-                e.priority);
+        // discard-ok: failing to re-cache a compacted page only loses a
+        // cache entry.
+        (void)PutPage(key, lsn,
+                      Slice(buf.data() + PageFrame::kHeaderSize, len),
+                      e.priority);
       }
     }
   } else {
     // "If compaction is not enabled, the segments with high amounts of
     // garbage will be released directly, releasing part of the valid pages
     // in the process."
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
+    sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                      "ExtendedBufferPool::CompactOnce/drop");
     for (const auto& [key, e] : live) {
       auto it = index_.find(key);
       if (it == index_.end() || it->second.seg != victim) continue;
@@ -704,7 +749,9 @@ Status ExtendedBufferPool::CompactOnce() {
 
   // Release the victim segment cluster-wide.
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
+    sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
+                      "ExtendedBufferPool::CompactOnce/release");
     for (auto it = segments_.begin(); it != segments_.end(); ++it) {
       if (it->handle == victim) {
         segments_.erase(it);
@@ -713,7 +760,9 @@ Status ExtendedBufferPool::CompactOnce() {
     }
     stats_.compactions++;
   }
-  client_->Delete(victim);
+  // discard-ok: a failed delete leaks the segment until its lease-based
+  // clean; the cache itself is already consistent.
+  (void)client_->Delete(victim);
   return Status::OK();
 }
 
@@ -721,10 +770,12 @@ void ExtendedBufferPool::BackgroundLoop() {
   Timestamp last_report = 0;
   while (!shutdown_.load()) {
     env_->clock()->SleepFor(options_.compaction_period);
-    CompactOnce();
+    // discard-ok: background maintenance is retried next period.
+    (void)CompactOnce();
     const Timestamp now = env_->clock()->Now();
     if (now - last_report >= options_.report_period) {
-      FlushLsnReports();
+      // discard-ok: reports are re-sent with fresher data next period.
+      (void)FlushLsnReports();
       last_report = now;
     }
   }

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "engine/page.h"
+#include "sim/race_detector.h"
 
 namespace vedb::engine {
 
@@ -14,17 +15,23 @@ BufferPool::BufferPool(sim::SimEnvironment* env, sim::SimNode* node,
       load_cond_(env->clock(), "bp-load") {}
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/false,
+                    "BufferPool::stats");
   return stats_;
 }
 
 size_t BufferPool::ResidentPages() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/false,
+                    "BufferPool::ResidentPages");
   return frames_.size();
 }
 
 bool BufferPool::IsResident(uint64_t key) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sim::RaceScopedLock lk(mu_);
+  sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/false,
+                    "BufferPool::IsResident");
   auto it = frames_.find(key);
   return it != frames_.end() && !it->second->loading;
 }
@@ -50,6 +57,9 @@ void BufferPool::EvictIfNeededLocked(std::unique_lock<std::mutex>& lk) {
     victim->pins = 1;  // eviction holds a pin so the frame cannot vanish
     const uint64_t key = victim->key;
 
+    sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/true,
+                      "BufferPool::EvictIfNeededLocked");
+    sim::RaceLockReleased(&mu_);
     lk.unlock();
     uint64_t lsn;
     bool dirty;
@@ -65,6 +75,7 @@ void BufferPool::EvictIfNeededLocked(std::unique_lock<std::mutex>& lk) {
     if (dirty && callbacks_.ensure_shipped) callbacks_.ensure_shipped(lsn);
     if (callbacks_.ebp_put) callbacks_.ebp_put(key, lsn, Slice(image));
     lk.lock();
+    sim::RaceLockAcquired(&mu_);
 
     victim->pins--;
     if (victim->pins == 0) {
@@ -82,7 +93,10 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
   node_->cpu()->Access(0, options_.access_cpu_cost);
 
   std::unique_lock<std::mutex> lk(mu_);
+  sim::RaceLockAcquired(&mu_);
   while (true) {
+    sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/true,
+                      "BufferPool::Pin");
     auto it = frames_.find(key);
     if (it != frames_.end()) {
       std::shared_ptr<Frame> fp = it->second;  // keep alive across waits
@@ -110,6 +124,7 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
     frames_[key] = std::move(frame);
     EvictIfNeededLocked(lk);
 
+    sim::RaceLockReleased(&mu_);
     lk.unlock();
     std::string image;
     uint64_t lsn = 0;
@@ -130,10 +145,12 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
       s = Status::OK();
     }
     lk.lock();
+    sim::RaceLockAcquired(&mu_);
 
     if (!s.ok()) {
       f->loading = false;  // before erase: waiters hold shared_ptr copies
       frames_.erase(key);
+      sim::RaceLockReleased(&mu_);
       lk.unlock();
       load_cond_.NotifyAll();
       return s;
@@ -151,6 +168,7 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
     } else {
       stats_.pagestore_reads++;
     }
+    sim::RaceLockReleased(&mu_);
     lk.unlock();
     load_cond_.NotifyAll();
     return f;
@@ -160,7 +178,9 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
 void BufferPool::Unpin(Frame* frame, uint64_t modified_lsn) {
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sim::RaceScopedLock lk(mu_);
+    sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/true,
+                      "BufferPool::Unpin");
     if (modified_lsn != 0) {
       std::lock_guard<std::mutex> flk(frame->mu);
       frame->dirty = true;

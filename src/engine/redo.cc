@@ -53,7 +53,8 @@ void ApplyRedoToPage(Slice redo_payload, uint64_t lsn, std::string* image) {
       break;
     }
     case RedoType::kDeleteRow:
-      page.DeleteRow(rec.slot);
+      // discard-ok: replay is idempotent; the slot may already be absent.
+      (void)page.DeleteRow(rec.slot);
       break;
   }
   if (lsn > page.lsn()) page.set_lsn(lsn);

@@ -145,6 +145,12 @@ Status RdmaFabric::Write(sim::SimNode* initiator, MemoryRegionId region,
   return PostChain(initiator, {wr});
 }
 
+Status RdmaFabric::VerifyPersisted(MemoryRegionId region, uint64_t offset,
+                                   uint64_t len, std::string_view context) {
+  VEDB_ASSIGN_OR_RETURN(Region r, Lookup(region));
+  return r.pmem->CheckPersisted(offset, len, context);
+}
+
 Status RdmaFabric::Read(sim::SimNode* initiator, MemoryRegionId region,
                         uint64_t offset, uint64_t len, char* out) {
   RdmaWorkRequest wr;

@@ -11,6 +11,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -90,6 +91,13 @@ class RdmaFabric {
                uint64_t offset, Slice data);
   Status Read(sim::SimNode* initiator, MemoryRegionId region, uint64_t offset,
               uint64_t len, char* out);
+
+  /// Persistence-ordering check against the region's device: validates the
+  /// claim that [offset, offset+len) has entered the persistence domain.
+  /// Callers invoke this at the point they are about to acknowledge
+  /// durability; a Corruption result means the ack would be premature.
+  Status VerifyPersisted(MemoryRegionId region, uint64_t offset, uint64_t len,
+                         std::string_view context);
 
  private:
   struct Region {

@@ -15,9 +15,12 @@ Status PmemDevice::WriteFromRemote(uint64_t offset, Slice data) {
   if (offset + data.size() > capacity_) {
     return Status::InvalidArgument("pmem write out of bounds");
   }
-  std::lock_guard<std::mutex> lk(mu_);
-  memcpy(bytes_.data() + offset, data.data(), data.size());
-  MarkPendingLocked(offset, data.size());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    memcpy(bytes_.data() + offset, data.data(), data.size());
+    MarkPendingLocked(offset, data.size());
+  }
+  checker_.OnWrite(offset, data.size(), /*persistent=*/false);
   return Status::OK();
 }
 
@@ -25,8 +28,11 @@ Status PmemDevice::WriteLocal(uint64_t offset, Slice data) {
   if (offset + data.size() > capacity_) {
     return Status::InvalidArgument("pmem write out of bounds");
   }
-  std::lock_guard<std::mutex> lk(mu_);
-  memcpy(bytes_.data() + offset, data.data(), data.size());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    memcpy(bytes_.data() + offset, data.data(), data.size());
+  }
+  checker_.OnWrite(offset, data.size(), /*persistent=*/true);
   return Status::OK();
 }
 
@@ -63,23 +69,32 @@ void PmemDevice::MarkPendingLocked(uint64_t offset, uint64_t len) {
 
 void PmemDevice::FlushViaRdmaRead() {
   if (ddio_enabled_) return;  // read hits the LLC; nothing reaches the iMC
-  std::lock_guard<std::mutex> lk(mu_);
-  pending_.clear();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.clear();
+  }
+  checker_.OnFlush();
 }
 
 void PmemDevice::PersistAll() {
-  std::lock_guard<std::mutex> lk(mu_);
-  pending_.clear();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.clear();
+  }
+  checker_.OnFlush();
 }
 
 void PmemDevice::Crash() {
-  std::lock_guard<std::mutex> lk(mu_);
-  for (const auto& [offset, end] : pending_) {
-    for (uint64_t i = offset; i < end; ++i) {
-      bytes_[i] = static_cast<char>(crash_rng_.Next());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [offset, end] : pending_) {
+      for (uint64_t i = offset; i < end; ++i) {
+        bytes_[i] = static_cast<char>(crash_rng_.Next());
+      }
     }
+    pending_.clear();
   }
-  pending_.clear();
+  checker_.OnCrash();
 }
 
 size_t PmemDevice::PendingRangeCount() const {

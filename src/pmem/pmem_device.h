@@ -21,6 +21,7 @@
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "pmem/persist_checker.h"
 
 namespace vedb::pmem {
 
@@ -63,6 +64,18 @@ class PmemDevice {
   /// Number of byte ranges currently outside the persistence domain.
   size_t PendingRangeCount() const;
 
+  /// Validates an ack-path durability claim over [offset, offset+len).
+  /// Returns Corruption (and records a checker violation) if any byte is
+  /// still outside the persistence domain. `context` names the claimant.
+  Status CheckPersisted(uint64_t offset, uint64_t len,
+                        std::string_view context) {
+    return checker_.CheckPersisted(offset, len, context);
+  }
+
+  /// The persistence-ordering validator attached to this device.
+  PersistChecker& persist_checker() { return checker_; }
+  const PersistChecker& persist_checker() const { return checker_; }
+
  private:
   void MarkPendingLocked(uint64_t offset, uint64_t len);
 
@@ -73,6 +86,7 @@ class PmemDevice {
   // offset -> end of ranges written but not yet persistent.
   std::map<uint64_t, uint64_t> pending_;
   Random crash_rng_;
+  PersistChecker checker_;
 };
 
 }  // namespace vedb::pmem

@@ -61,6 +61,11 @@ void VirtualClock::BindReservedActor() {
 }
 
 void VirtualClock::UnregisterActor() {
+  // Join edge: the exiting actor's effects become visible to whoever joins
+  // the group (ActorGroup::JoinAll acquires the same sync clock).
+  if (RaceDetector::IsEnabled()) {
+    RaceDetector::Instance().ClockBlockRelease(this);
+  }
   std::lock_guard<std::mutex> lk(mu_);
   actors_--;
   tls_actor_clock = nullptr;
@@ -132,9 +137,19 @@ void VirtualClock::BlockCurrentLocked(std::unique_lock<std::mutex>& lk,
   if (deadline != nullptr) {
     sleepers_.push(SleepEntry{*deadline, slot, slot->seq});
   }
+  // Race detection: blocking hands control to other actors — everything the
+  // blocker did so far happens-before whatever runs after the next clock
+  // hand-off. Release before MaybeAdvanceLocked so an actor woken inside
+  // that call already sees this release.
+  if (RaceDetector::IsEnabled()) {
+    RaceDetector::Instance().ClockBlockRelease(this);
+  }
   blocked_++;
   MaybeAdvanceLocked();
   slot->cv.wait(lk, [&] { return slot->runnable; });
+  if (RaceDetector::IsEnabled()) {
+    RaceDetector::Instance().ClockWakeAcquire(this);
+  }
   // Whoever made us runnable (clock advance or condition notify) already
   // decremented blocked_ on our behalf.
   if (guest) {
@@ -168,6 +183,9 @@ void VirtualCondition::CommitWait(uint64_t generation) {
   clock_->parked_conditions_.insert(this);
   clock_->BlockCurrentLocked(lk, slot);
   if (parked_.empty()) clock_->parked_conditions_.erase(this);
+  if (RaceDetector::IsEnabled()) {
+    RaceDetector::Instance().CondWakeAcquire(this);
+  }
 }
 
 void VirtualCondition::CommitWaitUntil(uint64_t generation,
@@ -190,9 +208,16 @@ void VirtualCondition::CommitWaitUntil(uint64_t generation,
     }
   }
   if (parked_.empty()) clock_->parked_conditions_.erase(this);
+  if (RaceDetector::IsEnabled()) {
+    RaceDetector::Instance().CondWakeAcquire(this);
+  }
 }
 
 void VirtualCondition::NotifyAll() {
+  // The notifier's prior writes happen-before the waiters' wakeups.
+  if (RaceDetector::IsEnabled()) {
+    RaceDetector::Instance().CondNotifyRelease(this);
+  }
   std::lock_guard<std::mutex> lk(clock_->mu_);
   generation_++;
   for (VirtualClock::ActorSlot* slot : parked_) {
@@ -207,12 +232,20 @@ void VirtualCondition::NotifyAll() {
 
 void ActorGroup::Spawn(std::function<void()> fn) {
   clock_->ReserveActor();
-  threads_.emplace_back([this, clock = clock_, fn = std::move(fn)] {
+  // Fork edge: the spawner's prior writes happen-before the new actor.
+  const uint64_t fork_token = RaceDetector::IsEnabled()
+                                  ? RaceDetector::Instance().ForkCapture()
+                                  : 0;
+  threads_.emplace_back([this, clock = clock_, fork_token,
+                         fn = std::move(fn)] {
     {
       std::unique_lock<std::mutex> lk(mu_);
       start_cv_.wait(lk, [this] { return started_; });
     }
     clock->BindReservedActor();
+    if (fork_token != 0 && RaceDetector::IsEnabled()) {
+      RaceDetector::Instance().ForkJoin(fork_token);
+    }
     fn();
     clock->UnregisterActor();
   });
@@ -228,11 +261,18 @@ void ActorGroup::JoinAll() {
   Start();
   // Joining is a real-world wait: if the caller is itself an actor, declare
   // it externally blocked so virtual time keeps flowing for the joinees.
-  VirtualClock::ExternalWaitScope scope(clock_);
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
+  {
+    VirtualClock::ExternalWaitScope scope(clock_);
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
   }
-  threads_.clear();
+  // Join edge: every exited actor released into the clock's sync clock in
+  // UnregisterActor; the joiner acquires all of it.
+  if (RaceDetector::IsEnabled()) {
+    RaceDetector::Instance().ClockWakeAcquire(clock_);
+  }
 }
 
 }  // namespace vedb::sim

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "sim/race_detector.h"
 
 namespace vedb::sim {
 
@@ -149,9 +150,11 @@ class VirtualCondition {
     while (true) {
       uint64_t g = PrepareWait();
       if (pred()) return;
+      RaceLockReleased(lock.mutex());
       lock.unlock();
       CommitWait(g);
       lock.lock();
+      RaceLockAcquired(lock.mutex());
     }
   }
 
@@ -164,9 +167,11 @@ class VirtualCondition {
       uint64_t g = PrepareWait();
       if (pred()) return true;
       if (clock_->Now() >= deadline) return false;
+      RaceLockReleased(lock.mutex());
       lock.unlock();
       CommitWaitUntil(g, deadline);
       lock.lock();
+      RaceLockAcquired(lock.mutex());
     }
   }
 

@@ -61,7 +61,7 @@ class AStoreTest : public ::testing::Test {
     auto c = std::make_unique<AStoreClient>(&env_, rpc_.get(), fabric_.get(),
                                             cm_node_, client_node_, id,
                                             AStoreClient::Options{});
-    c->Connect();
+    EXPECT_TRUE(c->Connect().ok());
     return c;
   }
 

@@ -57,7 +57,7 @@ class BufferPoolTest : public ::testing::Test {
     std::string image;
     Page::Format(&image);
     const std::string row(64, fill);
-    Page(&image).PutRow(0, Slice(row));
+    EXPECT_TRUE(Page(&image).PutRow(0, Slice(row)).ok());
     return image;
   }
 

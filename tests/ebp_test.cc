@@ -122,12 +122,14 @@ TEST_F(EbpTest, GetRefreshesRecency) {
   for (int i = 1; i < kPages; ++i) {
     ASSERT_TRUE(ebp.PutPage(i, 1, Slice(Image('b'))).ok());
     std::string image;
-    ebp.GetPage(0, &image, nullptr);  // keep page 0 hot
+    // discard-ok: touch traffic to keep page 0 hot; a miss is fine.
+    (void)ebp.GetPage(0, &image, nullptr);
   }
   for (int i = kPages; i < kPages + 40; ++i) {
     ASSERT_TRUE(ebp.PutPage(i, 1, Slice(Image('c'))).ok());
     std::string image;
-    ebp.GetPage(0, &image, nullptr);
+    // discard-ok: touch traffic; only recency matters here.
+    (void)ebp.GetPage(0, &image, nullptr);
   }
   EXPECT_TRUE(ebp.Contains(0));  // survived several eviction rounds
 }
@@ -141,7 +143,8 @@ TEST_F(EbpTest, PriorityPolicyProtectsHighClassPages) {
     ASSERT_TRUE(ebp.PutPage(1000 + i, 1, Slice(Image('h')), 3).ok());
   }
   for (int i = 0; i < 200; ++i) {
-    ebp.PutPage(i, 1, Slice(Image('l')), 0);  // may fail NoSpace: class full
+    // discard-ok: may fail NoSpace once the placement class fills up.
+    (void)ebp.PutPage(i, 1, Slice(Image('l')), 0);
   }
   int high_survivors = 0;
   for (int i = 0; i < 60; ++i) {
@@ -278,7 +281,8 @@ TEST_F(EbpTest, IndexLockSerializesConcurrentAccess) {
           uint64_t mine = 0;
           for (int i = 0; i < kOpsPer; ++i) {
             Timestamp t0 = env_.clock()->Now();
-            ebp.GetPage(0, &image, nullptr);
+            // discard-ok: timed traffic; latency is what is measured.
+            (void)ebp.GetPage(0, &image, nullptr);
             mine += env_.clock()->Now() - t0;
           }
           total_latency += mine;

@@ -106,14 +106,16 @@ TEST(IntegrationTest, TpccInvariantsHoldAcrossEngineCrash) {
                     const int64_t w = d[0].AsInt(), dd = d[1].AsInt();
                     const int64_t next = d[5].AsInt();
                     int64_t max_o = 0;
-                    orders->ScanPkRange(
+                    EXPECT_TRUE(orders
+                                    ->ScanPkRange(
                         engine::MakeKey({Value(w), Value(dd), Value(0)}),
                         engine::MakeKey(
                             {Value(w), Value(dd), Value(INT32_MAX)}),
                         [&](const Row& o) {
                           max_o = std::max(max_o, o[2].AsInt());
                           return true;
-                        });
+                        })
+                                    .ok());
                     EXPECT_EQ(next - 1, max_o)
                         << "district (" << w << "," << dd << ")";
                     return true;
@@ -125,14 +127,16 @@ TEST(IntegrationTest, TpccInvariantsHoldAcrossEngineCrash) {
                   ->ScanAll([&](const Row& o) {
                     if (orders_checked++ % 7 != 0) return true;  // sample
                     int lines = 0;
-                    orderline->ScanPkRange(
+                    EXPECT_TRUE(orderline
+                                    ->ScanPkRange(
                         engine::MakeKey({o[0], o[1], o[2]}),
                         engine::MakeKey(
                             {o[0], o[1], Value(o[2].AsInt() + 1)}),
                         [&](const Row&) {
                           lines++;
                           return true;
-                        });
+                        })
+                                    .ok());
                     EXPECT_GT(lines, 0);
                     return true;
                   })
