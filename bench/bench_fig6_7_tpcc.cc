@@ -26,14 +26,17 @@ struct Point {
 };
 
 std::vector<Point> RunSweep(bool use_astore,
-                            const std::vector<int>& client_counts) {
+                            const std::vector<int>& client_counts,
+                            std::vector<obs::Snapshot>* snapshots) {
   std::vector<Point> points;
   for (int clients : client_counts) {
     workload::ClusterOptions opts =
         bench::MakeClusterOptions(use_astore, 0, /*seed=*/2023);
     workload::VedbCluster cluster(opts);
-    cluster.StartBackground();
+    // Register main before any background actors exist so the setup phase
+    // runs under the scheduler's run token (deterministic tick counts).
     cluster.env()->clock()->RegisterActor();
+    cluster.StartBackground();
 
     workload::TpccScale scale;
     scale.warehouses = 24;  // enough warehouses that hot rows do not bind
@@ -59,15 +62,25 @@ std::vector<Point> RunSweep(bool use_astore,
         [&](int c) { return drivers[c]->RunMixed(nullptr); });
     cluster.env()->clock()->RegisterActor();
 
+    // Report latency from the registry (RunClosedLoop mirrors its run into
+    // workload.txn_latency_ns), and keep the whole per-config snapshot for
+    // the results/ export.
+    obs::Snapshot snap = bench::CollectRunSnapshot(
+        cluster.env(),
+        std::string("tpcc/") + (use_astore ? "pmem" : "ssd") +
+            "/clients=" + std::to_string(clients));
+    const auto* lat = snap.FindHistogram("workload.txn_latency_ns");
+
     Point p;
     p.clients = clients;
     p.tps = result.Throughput();
-    p.p95_ms = result.latency.P95() / 1e6;
-    p.p99_ms = result.latency.P99() / 1e6;
+    p.p95_ms = bench::P95Ms(lat);
+    p.p99_ms = bench::P99Ms(lat);
     points.push_back(p);
+    if (snapshots != nullptr) snapshots->push_back(std::move(snap));
 
-    cluster.env()->clock()->UnregisterActor();
     cluster.Shutdown();
+    cluster.env()->clock()->UnregisterActor();
   }
   return points;
 }
@@ -75,11 +88,17 @@ std::vector<Point> RunSweep(bool use_astore,
 }  // namespace
 }  // namespace vedb
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vedb;
-  const std::vector<int> clients = {1, 4, 8, 16, 32, 64, 128};
-  auto stock = RunSweep(/*use_astore=*/false, clients);
-  auto astore = RunSweep(/*use_astore=*/true, clients);
+  // Optional CLI cap on the largest client count (CI smoke runs "8").
+  const int max_clients = bench::ArgInt(argc, argv, 128);
+  std::vector<int> clients;
+  for (int c : {1, 4, 8, 16, 32, 64, 128}) {
+    if (c <= max_clients) clients.push_back(c);
+  }
+  std::vector<obs::Snapshot> snapshots;
+  auto stock = RunSweep(/*use_astore=*/false, clients, &snapshots);
+  auto astore = RunSweep(/*use_astore=*/true, clients, &snapshots);
 
   bench::PrintHeader("Figure 6: TPC-C throughput (TPS) vs clients");
   bench::PrintRow({"clients", "veDB (SSD log)", "veDB+AStore", "speedup"});
@@ -106,5 +125,22 @@ int main() {
                      bench::Fmt("%.2f", astore[i].p99_ms)});
   }
   printf("paper: P95 reduced by up to 50%% (most at 32 clients)\n");
+
+  std::string sweep = "\"sweep\":[";
+  for (size_t i = 0; i < stock.size(); ++i) {
+    if (i > 0) sweep += ",";
+    sweep += "{\"clients\":" + std::to_string(stock[i].clients) +
+             ",\"tps_ssd\":" + bench::Fmt("%.0f", stock[i].tps) +
+             ",\"tps_pmem\":" + bench::Fmt("%.0f", astore[i].tps) + "}";
+  }
+  sweep += "]";
+  Status wrote = bench::WriteBenchResults("bench_fig6_7_tpcc",
+                                          "bench_fig6_7_tpcc.json", snapshots,
+                                          {sweep});
+  if (!wrote.ok()) {
+    fprintf(stderr, "results export failed: %s\n", wrote.ToString().c_str());
+    return 1;
+  }
+  printf("metrics snapshot: results/bench_fig6_7_tpcc.json\n");
   return 0;
 }

@@ -1,14 +1,18 @@
 // Shared helpers for the figure/table reproduction benches: canonical
-// cluster configurations (scaled versions of Table I) and console table
-// printing.
+// cluster configurations (scaled versions of Table I), console table
+// printing, and metrics-registry snapshot/export plumbing (obs/export.h).
 
 #ifndef VEDB_BENCH_BENCH_UTIL_H_
 #define VEDB_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "sim/env.h"
 #include "workload/cluster.h"
 
 namespace vedb::bench {
@@ -45,6 +49,63 @@ inline std::string Fmt(const char* fmt, double v) {
   char buf[64];
   snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+/// Parses the optional "ops"/"scale" first CLI argument benches take so CI
+/// can run them short and deterministic; falls back to `def` (and clamps to
+/// >= 1) on absence or garbage.
+inline int ArgInt(int argc, char** argv, int def) {
+  if (argc < 2) return def;
+  const int v = atoi(argv[1]);
+  return v >= 1 ? v : def;
+}
+
+/// Snapshots the default metrics registry at the cluster's current virtual
+/// time under `run_label`, then zeroes every metric value so the next
+/// configuration of a multi-config bench starts from a clean registry.
+/// Call while the cluster (and its clock) is still alive.
+inline obs::Snapshot CollectRunSnapshot(sim::SimEnvironment* env,
+                                        const std::string& run_label) {
+  obs::Snapshot snap = obs::CollectSnapshot(
+      obs::MetricsRegistry::Default(), env->clock()->Now(), run_label);
+  obs::MetricsRegistry::Default().ResetValues();
+  return snap;
+}
+
+/// Histogram-sample accessors in milliseconds (0 when the sample is absent
+/// or empty) — benches report from the registry, not private histograms.
+inline double AvgMs(const obs::Snapshot::HistogramSample* h) {
+  if (h == nullptr || h->count == 0) return 0.0;
+  return static_cast<double>(h->sum) / static_cast<double>(h->count) / 1e6;
+}
+inline double P95Ms(const obs::Snapshot::HistogramSample* h) {
+  return h == nullptr ? 0.0 : static_cast<double>(h->p95) / 1e6;
+}
+inline double P99Ms(const obs::Snapshot::HistogramSample* h) {
+  return h == nullptr ? 0.0 : static_cast<double>(h->p99) / 1e6;
+}
+
+/// Assembles the standard bench results document: a JSON object wrapping
+/// per-configuration registry snapshots plus optional extra fields, written
+/// to results/<filename>. Extras must already be valid JSON fragments of
+/// the form "\"key\": value".
+inline Status WriteBenchResults(const std::string& bench_name,
+                                const std::string& filename,
+                                const std::vector<obs::Snapshot>& configs,
+                                const std::vector<std::string>& extras = {}) {
+  std::string out = "{\"bench\":\"" + bench_name + "\",";
+  out += "\"schema_version\":" + std::to_string(obs::Snapshot::kSchemaVersion);
+  for (const std::string& extra : extras) {
+    out += ",";
+    out += extra;
+  }
+  out += ",\"configs\":[";
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += configs[i].ToJson();
+  }
+  out += "]}";
+  return obs::WriteResultsFile("results", filename, out);
 }
 
 }  // namespace vedb::bench

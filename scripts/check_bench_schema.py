@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validates bench results JSON against the obs::Snapshot schema.
+
+CI runs a short deterministic bench (bench_table2_log_micro) and feeds the
+file(s) it wrote into this checker. The point is schema drift: if the C++
+exporter (src/obs/export.cc) changes shape without bumping
+Snapshot::kSchemaVersion and updating this script, the bench-smoke job
+fails. Pure stdlib; exits non-zero with a pointed message on violation.
+
+Usage: check_bench_schema.py results/bench_table2_log_micro.json [...]
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+class Drift(Exception):
+    pass
+
+
+def expect(cond, path, msg):
+    if not cond:
+        raise Drift(f"{path}: {msg}")
+
+
+def check_labels(labels, path):
+    expect(isinstance(labels, dict), path, "labels must be an object")
+    for k, v in labels.items():
+        expect(isinstance(k, str) and isinstance(v, str), path,
+               "labels must map string -> string")
+    expect(list(labels.keys()) == sorted(labels.keys()), path,
+           "label keys must be sorted (canonical form)")
+
+
+def check_sample(sample, path, value_fields):
+    expect(isinstance(sample, dict), path, "sample must be an object")
+    expect(isinstance(sample.get("name"), str), path, "missing string 'name'")
+    check_labels(sample.get("labels"), f"{path}.labels")
+    for field in value_fields:
+        expect(isinstance(sample.get(field), int), path,
+               f"missing integer '{field}' (floats are schema drift: the "
+               "exporter emits integers only)")
+
+
+def check_snapshot(snap, path):
+    expect(isinstance(snap, dict), path, "snapshot must be an object")
+    expect(snap.get("schema_version") == SCHEMA_VERSION, path,
+           f"schema_version must be {SCHEMA_VERSION}, got "
+           f"{snap.get('schema_version')!r}")
+    expect(isinstance(snap.get("virtual_time_ns"), int), path,
+           "missing integer 'virtual_time_ns'")
+    expect(isinstance(snap.get("run_label"), str), path,
+           "missing string 'run_label'")
+    for kind, fields in (("counters", ["value"]),
+                         ("gauges", ["value"]),
+                         ("histograms",
+                          ["count", "sum", "min", "max", "p50", "p95", "p99"])):
+        arr = snap.get(kind)
+        expect(isinstance(arr, list), path, f"missing array '{kind}'")
+        keys = []
+        for i, sample in enumerate(arr):
+            check_sample(sample, f"{path}.{kind}[{i}]", fields)
+            keys.append((sample["name"], tuple(sorted(sample["labels"].items()))))
+        expect(keys == sorted(keys), f"{path}.{kind}",
+               "samples must be sorted by (name, labels) — determinism drift")
+
+
+def check_breakdown(bd, path):
+    if bd is None:
+        return
+    expect(isinstance(bd, dict), path, "breakdown must be an object or null")
+    parts = ["client_ns", "network_ns", "server_ns", "pmem_flush_ns"]
+    for field in parts + ["total_ns"]:
+        expect(isinstance(bd.get(field), int), path,
+               f"missing integer '{field}'")
+    total = bd["total_ns"]
+    sum_parts = sum(bd[p] for p in parts)
+    expect(abs(sum_parts - total) <= 1, path,
+           f"breakdown stages sum to {sum_parts} but total_ns is {total} "
+           "(must tile the end-to-end span within 1 virtual tick)")
+
+
+def check_file(filename):
+    with open(filename, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    expect(isinstance(doc, dict), filename, "top level must be an object")
+    expect(isinstance(doc.get("bench"), str), filename,
+           "missing string 'bench'")
+    expect(doc.get("schema_version") == SCHEMA_VERSION, filename,
+           f"schema_version must be {SCHEMA_VERSION}")
+    configs = doc.get("configs")
+    expect(isinstance(configs, list) and configs, filename,
+           "missing non-empty array 'configs'")
+    for i, snap in enumerate(configs):
+        check_snapshot(snap, f"{filename}.configs[{i}]")
+    if "breakdown" in doc:
+        check_breakdown(doc["breakdown"], f"{filename}.breakdown")
+    if "trace_spans" in doc:
+        expect(isinstance(doc["trace_spans"], list), filename,
+               "'trace_spans' must be an array")
+    labels = [s.get("run_label") for s in configs]
+    expect(len(set(labels)) == len(labels), filename,
+           f"duplicate run_label among configs: {labels}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for filename in argv[1:]:
+        try:
+            check_file(filename)
+        except Drift as e:
+            print(f"SCHEMA DRIFT: {e}", file=sys.stderr)
+            return 1
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"ERROR reading {filename}: {e}", file=sys.stderr)
+            return 1
+        print(f"ok: {filename}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

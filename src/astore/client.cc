@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace vedb::astore {
 
@@ -17,7 +18,14 @@ AStoreClient::AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
       cm_node_(cm_node),
       client_node_(client_node),
       client_id_(client_id),
-      options_(options) {}
+      options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  writes_ = reg.GetCounter("astore.client.writes");
+  write_bytes_ = reg.GetCounter("astore.client.write_bytes");
+  write_ns_ = reg.GetHistogram("astore.client.write_ns");
+  reads_ = reg.GetCounter("astore.client.reads");
+  read_ns_ = reg.GetHistogram("astore.client.read_ns");
+}
 
 Status AStoreClient::Connect() { return RenewLease(); }
 
@@ -108,8 +116,13 @@ Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
     return Status::LeaseExpired("client lease expired");
   }
 
+  const Timestamp t0 = env_->clock()->Now();
+  obs::SpanScope span(obs::Tracer::Global(), "astore.client.write");
+  span.AddTag("segment", std::to_string(handle->id()));
+
   // SDK software cost (WR construction, segment-meta update, CQ polling).
   client_node_->cpu()->Access(0, options_.write_sdk_overhead);
+  const Timestamp sdk_done = env_->clock()->Now();
 
   SegmentRoute route = handle->route();
 
@@ -140,7 +153,8 @@ Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
     chains.push_back(std::move(chain));
   }
 
-  auto statuses = fabric_->PostChainMulti(client_node_, chains);
+  std::vector<net::ChainBreakdown> breakdowns;
+  auto statuses = fabric_->PostChainMulti(client_node_, chains, &breakdowns);
   for (const Status& s : statuses) {
     if (!s.ok()) {
       // "If any copy fails, it returns a failure to the application and
@@ -149,6 +163,30 @@ Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
       handle->frozen_ = true;
       return s;
     }
+  }
+
+  writes_->Add(1);
+  write_bytes_->Add(data.size());
+  write_ns_->Observe(env_->clock()->Now() - t0);
+
+  // Table 2-style breakdown of the critical (slowest-replica) chain: four
+  // child spans that tile [t0, chain end] with no gaps, so their durations
+  // sum exactly to the end-to-end write span. The client component is the
+  // SDK software time plus the doorbell; the rest comes straight from the
+  // fabric's ChainBreakdown.
+  if (obs::Tracer* tracer = obs::Tracer::Global();
+      tracer != nullptr && span.active() && !breakdowns.empty()) {
+    const net::ChainBreakdown* crit = &breakdowns[0];
+    for (const auto& bd : breakdowns) {
+      if (bd.end > crit->end) crit = &bd;
+    }
+    const Timestamp c1 = sdk_done + crit->client;
+    const Timestamp c2 = c1 + crit->network;
+    const Timestamp c3 = c2 + crit->server;
+    tracer->AddSpan("breakdown.client", span.context(), t0, c1);
+    tracer->AddSpan("breakdown.network", span.context(), c1, c2);
+    tracer->AddSpan("breakdown.server", span.context(), c2, c3);
+    tracer->AddSpan("breakdown.pmem_flush", span.context(), c3, crit->end);
   }
 
   // All replicas reported completion: this is the point where the write is
@@ -188,6 +226,9 @@ Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
       return Status::InvalidArgument("read past segment end");
     }
   }
+  const Timestamp t0 = env_->clock()->Now();
+  obs::SpanScope span(obs::Tracer::Global(), "astore.client.read");
+  span.AddTag("segment", std::to_string(handle->id()));
   client_node_->cpu()->Access(0, options_.read_sdk_overhead);
   SegmentRoute route = handle->route();
   if (route.replicas.empty()) return Status::Unavailable("no replicas");
@@ -198,8 +239,13 @@ Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
     const auto& loc = route.replicas[(start + i) % route.replicas.size()];
     sim::SimNode* node = env_->GetNode(loc.node);
     if (!node->alive()) continue;
-    return fabric_->Read(client_node_, loc.region, loc.base_offset + offset,
-                         len, out);
+    Status s = fabric_->Read(client_node_, loc.region, loc.base_offset + offset,
+                             len, out);
+    if (s.ok()) {
+      reads_->Add(1);
+      read_ns_->Observe(env_->clock()->Now() - t0);
+    }
+    return s;
   }
   return Status::Unavailable("no live replica for segment");
 }

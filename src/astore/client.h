@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "net/rdma.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "sim/env.h"
 
 namespace vedb::astore {
@@ -179,6 +180,13 @@ class AStoreClient {
   // Open handles tracked for the background refresh, keyed by segment id.
   std::map<SegmentId, std::weak_ptr<SegmentHandle>> open_;
   std::atomic<uint64_t> read_rr_{0};  // round-robin replica cursor for reads
+
+  // Observability (resolved once at construction; see obs/metrics.h).
+  obs::Counter* writes_ = nullptr;
+  obs::Counter* write_bytes_ = nullptr;
+  obs::HistogramMetric* write_ns_ = nullptr;
+  obs::Counter* reads_ = nullptr;
+  obs::HistogramMetric* read_ns_ = nullptr;
 };
 
 }  // namespace vedb::astore

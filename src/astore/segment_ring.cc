@@ -9,6 +9,18 @@
 
 namespace vedb::astore {
 
+SegmentRing::SegmentRing(AStoreClient* client, Options options,
+                         std::vector<SegmentHandlePtr> segments)
+    : client_(client),
+      options_(options),
+      segments_(std::move(segments)),
+      slot_start_lsn_(segments_.size(), 0) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  appends_ = reg.GetCounter("astore.ring.appends");
+  append_ns_ = reg.GetHistogram("astore.ring.append_ns");
+  replacements_ = reg.GetCounter("astore.ring.replacements");
+}
+
 std::string SegmentRing::EncodeHeader(SegmentStatus status,
                                       uint64_t start_lsn) {
   std::string h;
@@ -87,6 +99,7 @@ Status SegmentRing::ReplaceSegmentSlot(size_t idx,
     segments_[idx] = std::move(fresh);
     slot_start_lsn_[idx] = 0;
     replaced_++;
+    replacements_->Add(1);
     if (idx == cur_idx_) {
       cur_offset_ = kHeaderSize;
       cur_initialized_ = false;
@@ -187,11 +200,18 @@ Status SegmentRing::CommitReserved(const Reservation& reservation,
 }
 
 Status SegmentRing::AppendRecord(uint64_t lsn, Slice payload) {
+  const Timestamp begin = client_->env()->clock()->Now();
   Status s;
   for (int attempt = 0; attempt < 3; ++attempt) {
     VEDB_ASSIGN_OR_RETURN(Reservation r, Reserve(lsn, payload.size()));
     s = CommitReserved(r, lsn, payload);
-    if (!s.IsBusy()) return s;
+    if (!s.IsBusy()) {
+      if (s.ok()) {
+        appends_->Add(1);
+        append_ns_->Observe(client_->env()->clock()->Now() - begin);
+      }
+      return s;
+    }
   }
   return Status::Unavailable("log append failed after segment replacements");
 }

@@ -112,11 +112,7 @@ class SegmentRing {
 
  private:
   SegmentRing(AStoreClient* client, Options options,
-              std::vector<SegmentHandlePtr> segments)
-      : client_(client),
-        options_(options),
-        segments_(std::move(segments)),
-        slot_start_lsn_(segments_.size(), 0) {}
+              std::vector<SegmentHandlePtr> segments);
 
   static std::string EncodeHeader(SegmentStatus status, uint64_t start_lsn);
   static bool DecodeHeader(Slice in, SegmentStatus* status,
@@ -142,6 +138,11 @@ class SegmentRing {
   uint64_t cur_offset_ = kHeaderSize;
   bool cur_initialized_ = false;  // header written for current segment
   uint64_t replaced_ = 0;
+
+  // Observability (resolved once at construction; see obs/metrics.h).
+  obs::Counter* appends_ = nullptr;
+  obs::HistogramMetric* append_ns_ = nullptr;
+  obs::Counter* replacements_ = nullptr;
 };
 
 }  // namespace vedb::astore

@@ -11,6 +11,12 @@ AStoreServer::AStoreServer(sim::SimEnvironment* env, net::RpcTransport* rpc,
                            net::RdmaFabric* fabric, sim::SimNode* node,
                            const Options& options)
     : env_(env), rpc_(rpc), fabric_(fabric), node_(node), options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  allocs_ = reg.GetCounter("astore.server.allocs", {{"node", node_->name()}});
+  releases_ =
+      reg.GetCounter("astore.server.releases", {{"node", node_->name()}});
+  live_segments_ =
+      reg.GetGauge("astore.server.live_segments", {{"node", node_->name()}});
   pmem_ = std::make_unique<pmem::PmemDevice>(
       options_.pmem_capacity, options_.ddio_enabled, env_->NextSeed());
   // "The AStore Server will register the full physical address of PMem
@@ -73,6 +79,7 @@ void AStoreServer::CleanExpiredLocked(Timestamp now) {
       ++it;
     }
   }
+  live_segments_->Set(static_cast<int64_t>(segments_.size()));
 }
 
 uint64_t AStoreServer::FreeCapacity() const {
@@ -178,6 +185,8 @@ Result<ReplicaLocation> AStoreServer::Allocate(SegmentId id, uint64_t size) {
   loc.io_meta_offset = ServerLayout::kSuperblockSize +
                        seg.io_meta_slot * ServerLayout::kIoMetaSlotSize +
                        ServerLayout::kIoMetaClientOffset;
+  allocs_->Add(1);
+  live_segments_->Set(static_cast<int64_t>(segments_.size()));
   return loc;
 }
 
@@ -192,6 +201,7 @@ Status AStoreServer::Release(SegmentId id) {
   it->second.pending_clean = true;
   it->second.clean_deadline =
       env_->clock()->Now() + options_.cleaning_interval;
+  releases_->Add(1);
   return Status::OK();
 }
 
@@ -211,6 +221,7 @@ void AStoreServer::ForceClean() {
       ++it;
     }
   }
+  live_segments_->Set(static_cast<int64_t>(segments_.size()));
 }
 
 Result<ReplicaLocation> AStoreServer::LocationOf(SegmentId id) const {

@@ -24,6 +24,7 @@
 #include "common/status.h"
 #include "net/rdma.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "pmem/pmem_device.h"
 #include "sim/env.h"
 
@@ -153,6 +154,11 @@ class AStoreServer {
   uint32_t next_io_meta_slot_ = 0;
 
   std::atomic<bool> shutdown_{false};
+
+  // Observability (resolved once at construction; see obs/metrics.h).
+  obs::Counter* allocs_ = nullptr;
+  obs::Counter* releases_ = nullptr;
+  obs::Gauge* live_segments_ = nullptr;
 };
 
 }  // namespace vedb::astore

@@ -165,6 +165,14 @@ ExtendedBufferPool::ExtendedBufferPool(sim::SimEnvironment* env,
         env_->clock(), "ebp.lru." + std::to_string(i), lru_params));
     lru_.emplace_back();
   }
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  hits_metric_ = reg.GetCounter("ebp.hits");
+  misses_metric_ = reg.GetCounter("ebp.misses");
+  puts_metric_ = reg.GetCounter("ebp.puts");
+  evictions_metric_ = reg.GetCounter("ebp.evictions");
+  compactions_metric_ = reg.GetCounter("ebp.compactions");
+  live_bytes_metric_ = reg.GetGauge("ebp.live_bytes");
 }
 
 ExtendedBufferPool::Stats ExtendedBufferPool::stats() const {
@@ -249,6 +257,7 @@ void ExtendedBufferPool::EvictLocked(uint64_t needed) {
           list.erase(std::next(it).base());
           index_.erase(idx);
           stats_.evicted_pages++;
+          evictions_metric_->Add(1);
           progress = true;
           break;
         }
@@ -357,6 +366,8 @@ Status ExtendedBufferPool::PutPage(PageKey key, uint64_t lsn, Slice image,
   live_bytes_ += frame.size();
   priority_bytes_[priority] += frame.size();
   stats_.puts++;
+  puts_metric_->Add(1);
+  live_bytes_metric_->Set(static_cast<int64_t>(live_bytes_));
   return Status::OK();
 }
 
@@ -374,6 +385,7 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
     auto it = index_.find(key);
     if (it == index_.end()) {
       stats_.misses++;
+      misses_metric_->Add(1);
       return Status::NotFound("EBP miss");
     }
     IndexEntry& e = it->second;
@@ -394,6 +406,7 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
     Erase(key);
     sim::RaceScopedLock lk(mu_);
     stats_.misses++;
+    misses_metric_->Add(1);
     return Status::NotFound("EBP replica unavailable");
   }
   PageKey got_key;
@@ -404,12 +417,14 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
     Erase(key);
     sim::RaceScopedLock lk(mu_);
     stats_.misses++;
+    misses_metric_->Add(1);
     return Status::NotFound("EBP frame mismatch");
   }
   image->assign(buf.data() + PageFrame::kHeaderSize, len);
   if (lsn != nullptr) *lsn = got_lsn;
   sim::RaceScopedLock lk(mu_);
   stats_.hits++;
+  hits_metric_->Add(1);
   return Status::OK();
 }
 
@@ -759,6 +774,7 @@ Status ExtendedBufferPool::CompactOnce() {
       }
     }
     stats_.compactions++;
+    compactions_metric_->Add(1);
   }
   // discard-ok: a failed delete leaks the segment until its lease-based
   // clean; the cache itself is already consistent.

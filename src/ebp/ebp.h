@@ -33,6 +33,7 @@
 #include "astore/server.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/env.h"
 
 namespace vedb::ebp {
@@ -246,6 +247,14 @@ class ExtendedBufferPool {
   std::unordered_map<PageKey, uint64_t> pending_reports_;
 
   std::atomic<bool> shutdown_{false};
+
+  // Observability (resolved once at construction; see obs/metrics.h).
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* puts_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
+  obs::Counter* compactions_metric_ = nullptr;
+  obs::Gauge* live_bytes_metric_ = nullptr;
 
   friend class EbpServerAgent;
 };

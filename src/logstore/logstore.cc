@@ -5,8 +5,30 @@
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace vedb::logstore {
+
+namespace {
+void InitLogMetrics(const char* backend, obs::Counter** appends,
+                    obs::HistogramMetric** append_ns, obs::Counter** flushes,
+                    obs::Counter** flush_bytes) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  *appends = reg.GetCounter("logstore.appends", {{"backend", backend}});
+  *append_ns = reg.GetHistogram("logstore.append_ns", {{"backend", backend}});
+  *flushes = reg.GetCounter("logstore.flushes", {{"backend", backend}});
+  *flush_bytes =
+      reg.GetCounter("logstore.flush_bytes", {{"backend", backend}});
+}
+}  // namespace
+
+void BlobLogStore::InitMetrics(const char* backend) {
+  InitLogMetrics(backend, &appends_, &append_ns_, &flushes_, &flush_bytes_);
+}
+
+void AStoreLogStore::InitMetrics(const char* backend) {
+  InitLogMetrics(backend, &appends_, &append_ns_, &flushes_, &flush_bytes_);
+}
 
 void DurabilityWatermark::MarkDurable(uint64_t first, uint64_t last) {
   bool advanced = false;
@@ -116,6 +138,10 @@ Result<AppendResult> BlobLogStore::AppendBatch(
     const std::vector<std::string>& payloads, const AppendHooks* hooks) {
   if (payloads.empty()) return Status::InvalidArgument("empty batch");
 
+  const Timestamp begin = env_->clock()->Now();
+  obs::SpanScope span(obs::Tracer::Global(), "logstore.append");
+  span.AddTag("backend", "ssd");
+
   GroupCommitter::Item item;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -130,6 +156,8 @@ Result<AppendResult> BlobLogStore::AppendBatch(
   if (hooks != nullptr) item.on_failed = hooks->on_failed;
   const AppendResult result{item.first_lsn, item.last_lsn};
   VEDB_RETURN_IF_ERROR(committer_.Submit(std::move(item)));
+  appends_->Add(1);
+  append_ns_->Observe(env_->clock()->Now() - begin);
   return result;
 }
 
@@ -159,6 +187,8 @@ Status BlobLogStore::FlushGroup(const std::vector<GroupCommitter::Item>& items) 
   PutFixed64(&frame, first);
   frame += body;
   PutFixed32(&frame, MaskCrc(Crc32c(0, frame.data() + 4, 8 + body.size())));
+  flushes_->Add(1);
+  flush_bytes_->Add(frame.size());
   return group_->Append(Slice(frame), nullptr);
 }
 
@@ -251,6 +281,10 @@ Result<AppendResult> AStoreLogStore::AppendBatch(
     const std::vector<std::string>& payloads, const AppendHooks* hooks) {
   if (payloads.empty()) return Status::InvalidArgument("empty batch");
 
+  const Timestamp begin = env_->clock()->Now();
+  obs::SpanScope span(obs::Tracer::Global(), "logstore.append");
+  span.AddTag("backend", "pmem");
+
   GroupCommitter::Item item;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -265,6 +299,8 @@ Result<AppendResult> AStoreLogStore::AppendBatch(
   if (hooks != nullptr) item.on_failed = hooks->on_failed;
   const AppendResult result{item.first_lsn, item.last_lsn};
   VEDB_RETURN_IF_ERROR(committer_.Submit(std::move(item)));
+  appends_->Add(1);
+  append_ns_->Observe(env_->clock()->Now() - begin);
   return result;
 }
 
@@ -276,6 +312,8 @@ Status AStoreLogStore::FlushGroup(
   }
   const uint64_t first = items.front().first_lsn;
   const std::string body = EncodeBatchPayload(flat);
+  flushes_->Add(1);
+  flush_bytes_->Add(body.size());
   // Flushes are serialized by the single group-commit leader, so ring
   // placement naturally follows LSN order.
   VEDB_ASSIGN_OR_RETURN(astore::SegmentRing::Reservation reservation,

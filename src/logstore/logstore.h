@@ -24,6 +24,7 @@
 #include "blob/blob_store.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/env.h"
 
 namespace vedb::logstore {
@@ -179,7 +180,11 @@ class BlobLogStore : public LogStore {
                    [this](const std::vector<GroupCommitter::Item>& items) {
                      return FlushGroup(items);
                    }),
-        rng_(env->NextSeed()) {}
+        rng_(env->NextSeed()) {
+    InitMetrics("ssd");
+  }
+
+  void InitMetrics(const char* backend);
 
   Status FlushGroup(const std::vector<GroupCommitter::Item>& items);
 
@@ -193,6 +198,12 @@ class BlobLogStore : public LogStore {
   mutable std::mutex mu_;
   uint64_t next_lsn_ = 1;
   Random rng_;
+
+  // Observability (resolved once at construction; see obs/metrics.h).
+  obs::Counter* appends_ = nullptr;
+  obs::HistogramMetric* append_ns_ = nullptr;
+  obs::Counter* flushes_ = nullptr;
+  obs::Counter* flush_bytes_ = nullptr;
 };
 
 /// AStore/SegmentRing-backed store (the paper's design).
@@ -238,7 +249,11 @@ class AStoreLogStore : public LogStore {
                    [this](const std::vector<GroupCommitter::Item>& items) {
                      return FlushGroup(items);
                    }),
-        next_lsn_(next_lsn) {}
+        next_lsn_(next_lsn) {
+    InitMetrics("pmem");
+  }
+
+  void InitMetrics(const char* backend);
 
   Status FlushGroup(const std::vector<GroupCommitter::Item>& items);
 
@@ -251,6 +266,12 @@ class AStoreLogStore : public LogStore {
 
   mutable std::mutex mu_;
   uint64_t next_lsn_ = 1;
+
+  // Observability (resolved once at construction; see obs/metrics.h).
+  obs::Counter* appends_ = nullptr;
+  obs::HistogramMetric* append_ns_ = nullptr;
+  obs::Counter* flushes_ = nullptr;
+  obs::Counter* flush_bytes_ = nullptr;
 };
 
 /// Shared batch framing: several REDO payloads packed into one physical log

@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace vedb::net {
+
+RdmaFabric::RdmaFabric(sim::SimEnvironment* env, const Options& options)
+    : env_(env), options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  auto make = [&reg](const char* verb) {
+    VerbMetrics m;
+    m.ops = reg.GetCounter("net.rdma.ops", {{"verb", verb}});
+    m.bytes = reg.GetCounter("net.rdma.bytes", {{"verb", verb}});
+    m.queue_ns = reg.GetCounter("net.rdma.queue_ns", {{"verb", verb}});
+    m.wire_ns = reg.GetCounter("net.rdma.wire_ns", {{"verb", verb}});
+    return m;
+  };
+  read_metrics_ = make("read");
+  write_metrics_ = make("write");
+}
 
 MemoryRegionId RdmaFabric::RegisterMemory(sim::SimNode* node,
                                           pmem::PmemDevice* pmem) {
@@ -31,7 +47,7 @@ Result<RdmaFabric::Region> RdmaFabric::Lookup(MemoryRegionId id) const {
 Status RdmaFabric::PrepareChain(sim::SimNode* initiator,
                                 const std::vector<RdmaWorkRequest>& chain,
                                 std::vector<Region>* regions,
-                                Timestamp* completion) {
+                                ChainBreakdown* breakdown) {
   if (chain.empty()) return Status::InvalidArgument("empty WR chain");
 
   // Resolve all regions up front; they must share a target node.
@@ -46,32 +62,70 @@ Status RdmaFabric::PrepareChain(sim::SimNode* initiator,
   }
   sim::SimNode* target = regions->front().node;
 
+  breakdown->start = env_->clock()->Now();
   if (!target->alive()) {
     // The QP times out; the initiator burns the timeout before erroring.
-    *completion = env_->clock()->Now() + options_.timeout_latency;
+    breakdown->end = breakdown->start + options_.timeout_latency;
+    breakdown->network = options_.timeout_latency;
     return Status::Unavailable("rdma target " + target->name() + " is down");
   }
 
   // Timing: one doorbell, then each WR flows initiator NIC -> wire ->
   // target NIC -> target media, strictly ordered within the chain. The
-  // target CPU is never involved.
-  Timestamp t = env_->clock()->Now() + options_.doorbell_cost;
+  // target CPU is never involved. Consecutive completion timestamps tile
+  // [start, end] with no gaps, so the breakdown components sum exactly to
+  // the chain's total latency.
+  Timestamp t = breakdown->start + options_.doorbell_cost;
+  breakdown->client += options_.doorbell_cost;
   for (const auto& wr : chain) {
-    const uint64_t bytes =
-        wr.kind == RdmaWorkRequest::Kind::kWrite ? wr.write_data.size()
-                                                 : wr.read_len;
-    t = initiator->nic()->SubmitAt(t, bytes);
+    const bool is_read = wr.kind == RdmaWorkRequest::Kind::kRead;
+    const uint64_t bytes = is_read ? wr.read_len : wr.write_data.size();
+    const VerbMetrics& verb = is_read ? read_metrics_ : write_metrics_;
+    const Timestamp wr_begin = t;
+    Duration wr_queue = 0;
+    Duration wait = 0;
+
+    t = initiator->nic()->SubmitAt(t, bytes, 0, &wait);
+    wr_queue += wait;
     t += options_.wire_latency;
-    t = target->nic()->SubmitAt(t, bytes);
-    t = target->storage()->SubmitAt(t, bytes);
-    if (wr.kind == RdmaWorkRequest::Kind::kRead) {
+    t = target->nic()->SubmitAt(t, bytes, 0, &wait);
+    wr_queue += wait;
+    breakdown->network += t - wr_begin;
+
+    const Timestamp media_begin = t;
+    t = target->storage()->SubmitAt(t, bytes, 0, &wait);
+    wr_queue += wait;
+    // A READ's media time is the persistence-domain drain (the flush the
+    // read forces); a WRITE's is payload placement on the target.
+    (is_read ? breakdown->pmem_flush : breakdown->server) += t - media_begin;
+
+    if (is_read) {
       // Response payload crosses the wire back.
+      const Timestamp return_begin = t;
       t += options_.wire_latency;
-      t = initiator->nic()->SubmitAt(t, bytes);
+      t = initiator->nic()->SubmitAt(t, bytes, 0, &wait);
+      wr_queue += wait;
+      breakdown->network += t - return_begin;
     }
+
+    verb.ops->Add(1);
+    verb.bytes->Add(bytes);
+    verb.queue_ns->Add(wr_queue);
+    verb.wire_ns->Add((t - wr_begin) - wr_queue);
+    breakdown->queue += wr_queue;
   }
-  *completion = t;
+  breakdown->end = t;
   return Status::OK();
+}
+
+void RdmaFabric::RecordChainSpan(const ChainBreakdown& breakdown,
+                                 size_t chain_len, const std::string& target) {
+  obs::Tracer* tracer = obs::Tracer::Global();
+  if (tracer == nullptr) return;
+  tracer->AddSpan("rdma.chain", obs::Tracer::CurrentContext(),
+                  breakdown.start, breakdown.end,
+                  {{"target", target},
+                   {"wr_count", std::to_string(chain_len)}});
 }
 
 Status RdmaFabric::ApplyChain(const std::vector<RdmaWorkRequest>& chain,
@@ -92,24 +146,31 @@ Status RdmaFabric::ApplyChain(const std::vector<RdmaWorkRequest>& chain,
 }
 
 Status RdmaFabric::PostChain(sim::SimNode* initiator,
-                             const std::vector<RdmaWorkRequest>& chain) {
+                             const std::vector<RdmaWorkRequest>& chain,
+                             ChainBreakdown* breakdown) {
   VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("rdma.post"));
   std::vector<Region> regions;
-  Timestamp completion = 0;
-  Status prep = PrepareChain(initiator, chain, &regions, &completion);
+  ChainBreakdown local;
+  Status prep = PrepareChain(initiator, chain, &regions, &local);
+  if (breakdown != nullptr) *breakdown = local;
   if (prep.IsUnavailable()) {
-    env_->clock()->SleepUntil(completion);
+    env_->clock()->SleepUntil(local.end);
     return prep;
   }
   VEDB_RETURN_IF_ERROR(prep);
-  env_->clock()->SleepUntil(completion);
+  env_->clock()->SleepUntil(local.end);
+  RecordChainSpan(local, chain.size(), regions.front().node->name());
   return ApplyChain(chain, regions);
 }
 
 std::vector<Status> RdmaFabric::PostChainMulti(
     sim::SimNode* initiator,
-    const std::vector<std::vector<RdmaWorkRequest>>& chains) {
+    const std::vector<std::vector<RdmaWorkRequest>>& chains,
+    std::vector<ChainBreakdown>* breakdowns) {
   std::vector<Status> statuses(chains.size(), Status::OK());
+  if (breakdowns != nullptr) {
+    breakdowns->assign(chains.size(), ChainBreakdown{});
+  }
 
   Status injected = env_->faults()->MaybeFail("rdma.post");
   if (!injected.ok()) {
@@ -118,20 +179,23 @@ std::vector<Status> RdmaFabric::PostChainMulti(
   }
 
   std::vector<std::vector<Region>> regions(chains.size());
+  std::vector<ChainBreakdown> local(chains.size());
   Timestamp latest = env_->clock()->Now();
   for (size_t i = 0; i < chains.size(); ++i) {
-    Timestamp completion = latest;
-    statuses[i] = PrepareChain(initiator, chains[i], &regions[i], &completion);
+    statuses[i] = PrepareChain(initiator, chains[i], &regions[i], &local[i]);
     if (statuses[i].ok() || statuses[i].IsUnavailable()) {
-      latest = std::max(latest, completion);
+      latest = std::max(latest, local[i].end);
     }
   }
   env_->clock()->SleepUntil(latest);
   for (size_t i = 0; i < chains.size(); ++i) {
     if (statuses[i].ok()) {
+      RecordChainSpan(local[i], chains[i].size(),
+                      regions[i].front().node->name());
       statuses[i] = ApplyChain(chains[i], regions[i]);
     }
   }
+  if (breakdowns != nullptr) *breakdowns = std::move(local);
   return statuses;
 }
 

@@ -18,10 +18,27 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "pmem/pmem_device.h"
 #include "sim/env.h"
 
 namespace vedb::net {
+
+/// Timing decomposition of one posted chain — the simulated equivalent of
+/// the paper's Table 2 latency breakdown. The four component durations tile
+/// [start, end] exactly: client + network + server + pmem_flush == total().
+/// `queue` reports how much of that time was spent waiting for busy device
+/// channels (already included in the components, never added on top).
+struct ChainBreakdown {
+  Timestamp start = 0;  ///< virtual time the chain was posted
+  Timestamp end = 0;    ///< virtual time of the last completion
+  Duration client = 0;      ///< initiator-side doorbell (MMIO) cost
+  Duration network = 0;     ///< NIC processing + wire time, both directions
+  Duration server = 0;      ///< target-side media time for payload WRs
+  Duration pmem_flush = 0;  ///< flush READ's persistence-domain drain
+  Duration queue = 0;       ///< channel queue-wait inside the above
+  Duration total() const { return end - start; }
+};
 
 /// Handle to a registered memory region on some node. Obtained from
 /// RdmaFabric::RegisterMemory; stable across the region's lifetime.
@@ -57,8 +74,7 @@ class RdmaFabric {
     Duration timeout_latency = 500 * kMicrosecond;
   };
 
-  RdmaFabric(sim::SimEnvironment* env, const Options& options)
-      : env_(env), options_(options) {}
+  RdmaFabric(sim::SimEnvironment* env, const Options& options);
   explicit RdmaFabric(sim::SimEnvironment* env)
       : RdmaFabric(env, Options()) {}
 
@@ -76,15 +92,21 @@ class RdmaFabric {
   ///
   /// An RDMA READ in the chain additionally flushes prior writes into the
   /// target PMem's persistence domain when the platform has DDIO disabled.
+  ///
+  /// When `breakdown` is non-null it receives the chain's Table 2-style
+  /// timing decomposition.
   Status PostChain(sim::SimNode* initiator,
-                   const std::vector<RdmaWorkRequest>& chain);
+                   const std::vector<RdmaWorkRequest>& chain,
+                   ChainBreakdown* breakdown = nullptr);
 
   /// Posts several independent chains (each to its own target node) in
   /// parallel and blocks until all complete — the shape of AStore's
-  /// replicated write. Returns one status per chain.
+  /// replicated write. Returns one status per chain. When `breakdowns` is
+  /// non-null it is resized to one ChainBreakdown per chain.
   std::vector<Status> PostChainMulti(
       sim::SimNode* initiator,
-      const std::vector<std::vector<RdmaWorkRequest>>& chains);
+      const std::vector<std::vector<RdmaWorkRequest>>& chains,
+      std::vector<ChainBreakdown>* breakdowns = nullptr);
 
   /// Convenience single-op wrappers.
   Status Write(sim::SimNode* initiator, MemoryRegionId region,
@@ -105,11 +127,26 @@ class RdmaFabric {
     pmem::PmemDevice* pmem = nullptr;
   };
 
+  /// Per-verb observability counters, resolved once at construction.
+  struct VerbMetrics {
+    obs::Counter* ops = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* queue_ns = nullptr;  ///< time waiting for busy channels
+    obs::Counter* wire_ns = nullptr;   ///< NIC/wire/media service time
+  };
+
   /// Validates a chain, computes its completion time (charging devices),
-  /// and returns the resolved regions. Does not block or mutate memory.
+  /// and returns the resolved regions plus the timing breakdown. Does not
+  /// block or mutate memory.
   Status PrepareChain(sim::SimNode* initiator,
                       const std::vector<RdmaWorkRequest>& chain,
-                      std::vector<Region>* regions, Timestamp* completion);
+                      std::vector<Region>* regions,
+                      ChainBreakdown* breakdown);
+
+  /// Records the chain's span against the global tracer (no-op when
+  /// tracing is off).
+  void RecordChainSpan(const ChainBreakdown& breakdown, size_t chain_len,
+                       const std::string& target);
 
   /// Applies a chain's state changes (memcpy + persistence-domain effects).
   Status ApplyChain(const std::vector<RdmaWorkRequest>& chain,
@@ -119,6 +156,8 @@ class RdmaFabric {
 
   sim::SimEnvironment* env_;
   Options options_;
+  VerbMetrics read_metrics_;
+  VerbMetrics write_metrics_;
   mutable std::mutex mu_;
   std::map<MemoryRegionId, Region> regions_;
   uint32_t next_region_ = 1;

@@ -3,8 +3,39 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vedb::net {
+
+namespace {
+
+// Every request carries a 16-byte trace-context envelope ahead of the
+// payload (the "RPC header"). It is always present — zeroed when tracing is
+// off — so traced and untraced runs charge identical NIC time.
+std::string Envelope(Slice request) {
+  std::string wire;
+  obs::EncodeTraceContext(&wire, obs::Tracer::CurrentContext());
+  wire.append(request.data(), request.size());
+  return wire;
+}
+
+// Splits an enveloped request back into (context, payload).
+obs::TraceContext StripEnvelope(Slice* enveloped) {
+  obs::TraceContext ctx;
+  VEDB_CHECK(obs::DecodeTraceContext(enveloped, &ctx),
+             "rpc request shorter than its trace envelope");
+  return ctx;
+}
+
+void RecordCall(const std::string& service, Duration latency) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("net.rpc.calls", {{"service", service}})->Add(1);
+  reg.GetHistogram("net.rpc.latency_ns", {{"service", service}})
+      ->Observe(latency);
+}
+
+}  // namespace
 
 void RpcTransport::RegisterService(sim::SimNode* node,
                                    const std::string& service,
@@ -50,14 +81,15 @@ std::vector<Status> RpcTransport::CallScatter(
     return statuses;
   }
 
+  const Timestamp begin = env_->clock()->Now();
+
   // One client-side syscall covers the batched submission.
-  Timestamp t0 = client->cpu()->SubmitAt(env_->clock()->Now(), 0,
-                                         options_.client_overhead);
+  Timestamp t0 = client->cpu()->SubmitAt(begin, 0, options_.client_overhead);
 
   std::vector<Timestamp> completions(n, 0);
   for (size_t i = 0; i < n; ++i) {
     sim::SimNode* server = calls[i].server;
-    Slice request(calls[i].request);
+    const std::string wire_request = Envelope(Slice(calls[i].request));
     if (!server->alive()) {
       statuses[i] = Status::Unavailable("rpc target " + server->name() +
                                         " is down");
@@ -77,15 +109,21 @@ std::vector<Status> RpcTransport::CallScatter(
       handler = it->second;
     }
     // Request path to this server.
-    Timestamp t = client->nic()->SubmitAt(t0, request.size());
+    Timestamp t = client->nic()->SubmitAt(t0, wire_request.size());
     t += options_.wire_latency;
-    t = server->nic()->SubmitAt(t, request.size());
+    t = server->nic()->SubmitAt(t, wire_request.size());
     t = server->cpu()->SubmitAt(
         t, 0, server->config().rpc_dispatch_cost + SchedJitter());
-    // Server work (non-blocking, reports its own completion).
+    // Server work (non-blocking, reports its own completion) under the
+    // context stripped off the wire.
     std::string resp;
     Timestamp done = t;
-    statuses[i] = handler(request, &resp, t, &done);
+    {
+      Slice payload(wire_request);
+      obs::TraceContext rx = StripEnvelope(&payload);
+      obs::ContextScope server_ctx(rx);
+      statuses[i] = handler(payload, &resp, t, &done);
+    }
     // Response path.
     Timestamp r = server->nic()->SubmitAt(done, resp.size());
     r += options_.wire_latency;
@@ -94,6 +132,18 @@ std::vector<Status> RpcTransport::CallScatter(
     if (responses != nullptr && statuses[i].ok()) {
       (*responses)[i] = std::move(resp);
     }
+  }
+
+  if (obs::Tracer* tracer = obs::Tracer::Global()) {
+    const obs::TraceContext parent = obs::Tracer::CurrentContext();
+    for (size_t i = 0; i < n; ++i) {
+      tracer->AddSpan("rpc.call", parent, begin, completions[i],
+                      {{"service", calls[i].service},
+                       {"server", calls[i].server->name()}});
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    RecordCall(calls[i].service, completions[i] - begin);
   }
 
   // Wait for the k-th success (or for everything if not enough succeeded).
@@ -130,6 +180,11 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
                           std::string* response) {
   VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("rpc.call"));
 
+  const Timestamp begin = env_->clock()->Now();
+  obs::SpanScope span(obs::Tracer::Global(), "rpc.call");
+  span.AddTag("service", service);
+  span.AddTag("server", server->name());
+
   if (!server->alive()) {
     env_->clock()->SleepFor(options_.timeout_latency);
     return Status::Unavailable("rpc target " + server->name() + " is down");
@@ -155,20 +210,32 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
     }
   }
 
+  // The trace context rides ahead of the payload (see Envelope).
+  const std::string wire_request = Envelope(request);
+
   // Request path: client kernel -> client NIC -> wire -> server NIC ->
   // server CPU (dispatch + scheduling delay).
   Timestamp t = env_->clock()->Now();
   t = client->cpu()->SubmitAt(t, 0, options_.client_overhead);
-  t = client->nic()->SubmitAt(t, request.size());
+  t = client->nic()->SubmitAt(t, wire_request.size());
   t += options_.wire_latency;
-  t = server->nic()->SubmitAt(t, request.size());
+  t = server->nic()->SubmitAt(t, wire_request.size());
   t = server->cpu()->SubmitAt(t, 0,
                               server->config().rpc_dispatch_cost + sched_delay);
   env_->clock()->SleepUntil(t);
 
   // Handler executes "on the server": it charges whatever devices it uses.
+  // The transport strips the envelope and installs the decoded context, so
+  // server-side spans attach under this call even though the handler runs
+  // on the calling actor's thread.
   std::string resp;
-  Status status = handler(request, &resp);
+  Status status;
+  {
+    Slice payload(wire_request);
+    obs::TraceContext rx = StripEnvelope(&payload);
+    obs::ContextScope server_ctx(rx);
+    status = handler(payload, &resp);
+  }
 
   // Response path.
   Timestamp r = env_->clock()->Now();
@@ -177,6 +244,7 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
   r = client->nic()->SubmitAt(r, resp.size());
   env_->clock()->SleepUntil(r);
 
+  RecordCall(service, env_->clock()->Now() - begin);
   if (status.ok() && response != nullptr) *response = std::move(resp);
   return status;
 }

@@ -1,0 +1,141 @@
+// MetricsRegistry: labeled counters, gauges, and latency histograms for the
+// whole stack. All values are derived from the *virtual* clock (callers
+// observe virtual-time durations and pass the virtual timestamp at snapshot
+// time), so two identical seeded runs produce byte-identical snapshots.
+//
+// Naming convention (see DESIGN.md "Observability"):
+//   <module>.<object>.<measure>[_ns|_bytes]   e.g. astore.client.write_ns
+// Labels qualify a metric without multiplying names (backend=ssd|pmem,
+// node=pm0, verb=read|write). A metric identity is (name, sorted labels).
+//
+// Hot paths cache the pointer returned by GetCounter/GetGauge/GetHistogram
+// once (construction time); pointers stay valid for the registry's lifetime
+// — ResetValues() zeroes values but never invalidates metric objects.
+
+#ifndef VEDB_OBS_METRICS_H_
+#define VEDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace vedb::obs {
+
+/// Label key/value pairs. Stored canonically sorted by key; duplicate keys
+/// keep the last value.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Sorts by key and drops duplicate keys (last wins).
+LabelSet CanonicalLabels(LabelSet labels);
+
+/// Monotonically increasing event count. Thread safe, lock free.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed level (queue depths, live bytes). Thread safe.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency/size distribution over common/histogram.h. Thread safe.
+class HistogramMetric {
+ public:
+  void Observe(uint64_t value);
+  /// Folds a whole pre-aggregated distribution in (bench drivers).
+  void Merge(const Histogram& other);
+  /// Copies out the current distribution.
+  Histogram Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  void Reset();
+  mutable std::mutex mu_;
+  Histogram histogram_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the metric with this identity. The returned pointer
+  /// is stable for the registry's lifetime. Requesting an existing name
+  /// with a different metric kind aborts (naming bug).
+  Counter* GetCounter(const std::string& name, LabelSet labels = {});
+  Gauge* GetGauge(const std::string& name, LabelSet labels = {});
+  HistogramMetric* GetHistogram(const std::string& name, LabelSet labels = {});
+
+  /// Zeroes every metric's value. Metric objects (and cached pointers)
+  /// survive — benches call this between configurations.
+  void ResetValues();
+
+  /// Testing only: removes every metric, identities included, so a fresh
+  /// run registers from a blank slate (late registrations from a previous
+  /// run's teardown would otherwise persist as zero-valued samples).
+  /// Invalidates ALL previously returned pointers — no instrumented object
+  /// resolved against this registry may still be alive.
+  void RemoveAllForTesting();
+
+  /// Number of registered metrics (all kinds).
+  size_t MetricCount() const;
+
+  /// Visits every metric in deterministic (name, labels) order.
+  void VisitCounters(
+      const std::function<void(const std::string& name, const LabelSet& labels,
+                               uint64_t value)>& fn) const;
+  void VisitGauges(
+      const std::function<void(const std::string& name, const LabelSet& labels,
+                               int64_t value)>& fn) const;
+  void VisitHistograms(
+      const std::function<void(const std::string& name, const LabelSet& labels,
+                               const Histogram& hist)>& fn) const;
+
+  /// The process-wide registry instrumented modules record into. Never
+  /// destroyed (module singletons cache pointers into it).
+  static MetricsRegistry& Default();
+
+ private:
+  struct Key {
+    std::string name;
+    LabelSet labels;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace vedb::obs
+
+#endif  // VEDB_OBS_METRICS_H_

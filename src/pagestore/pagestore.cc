@@ -16,6 +16,13 @@ PageStoreCluster::PageStoreCluster(sim::SimEnvironment* env,
       nodes_(std::move(nodes)),
       apply_(std::move(apply)),
       options_(options) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  ship_batches_ = reg.GetCounter("pagestore.ship_batches");
+  ship_records_ = reg.GetCounter("pagestore.ship_records");
+  applied_metric_ = reg.GetCounter("pagestore.applied_records");
+  gossip_metric_ = reg.GetCounter("pagestore.gossip_fills");
+  page_reads_ = reg.GetCounter("pagestore.page_reads");
+  read_ns_ = reg.GetHistogram("pagestore.read_ns");
   VEDB_CHECK(static_cast<int>(nodes_.size()) >= options_.replication,
              "need at least replication-many PageStore nodes");
   VEDB_CHECK(options_.write_quorum <= options_.replication, "quorum too big");
@@ -101,6 +108,7 @@ uint64_t PageStoreCluster::ApplyContiguousLocked(ShardReplica* rep) {
     applied++;
   }
   applied_records_.fetch_add(applied);
+  applied_metric_->Add(applied);
   return applied;
 }
 
@@ -214,6 +222,8 @@ Status PageStoreCluster::ShipRecords(
                                                         batch.max_lsn)) {
     }
   }
+  ship_batches_->Add(1);
+  ship_records_->Add(records.size());
   return Status::OK();
 }
 
@@ -274,6 +284,7 @@ Status PageStoreCluster::HandleReadPage(int shard, int replica_idx,
 
 Status PageStoreCluster::ReadPage(sim::SimNode* client, PageKey key,
                                   std::string* image, uint64_t* image_lsn) {
+  const Timestamp begin = env_->clock()->Now();
   const int s = ShardOf(key);
   Shard* shard = shards_[s].get();
   const uint64_t min_lsn = shard->acked_lsn.load();
@@ -294,6 +305,8 @@ Status PageStoreCluster::ReadPage(sim::SimNode* client, PageKey key,
       if (resp.size() < 8) return Status::Corruption("bad page response");
       if (image_lsn != nullptr) *image_lsn = DecodeFixed64(resp.data());
       image->assign(resp.data() + 8, resp.size() - 8);
+      page_reads_->Add(1);
+      read_ns_->Observe(env_->clock()->Now() - begin);
       return Status::OK();
     }
     if (last.IsNotFound()) return last;  // authoritative miss
@@ -373,6 +386,7 @@ bool PageStoreCluster::GossipCatchUp(int shard, int replica_idx) {
       if (rep->contiguous_seq > before) {
         progressed = true;
         gossip_fills_.fetch_add(1);
+        gossip_metric_->Add(1);
       }
     }
     {
@@ -516,8 +530,17 @@ void PageStoreCluster::BackgroundLoop(sim::SimNode* node) {
 }
 
 void PageStoreCluster::StartBackground(sim::ActorGroup* group) {
-  // One background actor per distinct node.
-  std::set<sim::SimNode*> distinct(nodes_.begin(), nodes_.end());
+  // One background actor per distinct node, spawned in nodes_ order. A
+  // pointer-ordered std::set here would make the spawn order (and thus
+  // same-timestamp actor scheduling) vary with heap layout across
+  // processes, breaking byte-identical seeded runs.
+  std::vector<sim::SimNode*> distinct;
+  for (sim::SimNode* node : nodes_) {
+    if (std::find(distinct.begin(), distinct.end(), node) ==
+        distinct.end()) {
+      distinct.push_back(node);
+    }
+  }
   for (sim::SimNode* node : distinct) {
     group->Spawn([this, node] { BackgroundLoop(node); });
   }

@@ -31,6 +31,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "sim/env.h"
 
 namespace vedb::pagestore {
@@ -196,6 +197,14 @@ class PageStoreCluster {
   std::atomic<bool> shutdown_{false};
   std::atomic<uint64_t> gossip_fills_{0};
   std::atomic<uint64_t> applied_records_{0};
+
+  // Observability (resolved once at construction; see obs/metrics.h).
+  obs::Counter* ship_batches_ = nullptr;
+  obs::Counter* ship_records_ = nullptr;
+  obs::Counter* applied_metric_ = nullptr;
+  obs::Counter* gossip_metric_ = nullptr;
+  obs::Counter* page_reads_ = nullptr;
+  obs::HistogramMetric* read_ns_ = nullptr;
 };
 
 }  // namespace vedb::pagestore

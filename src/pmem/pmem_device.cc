@@ -9,7 +9,19 @@ PmemDevice::PmemDevice(uint64_t capacity, bool ddio_enabled,
     : capacity_(capacity),
       ddio_enabled_(ddio_enabled),
       bytes_(capacity, 0),
-      crash_rng_(crash_seed) {}
+      crash_rng_(crash_seed) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  remote_write_bytes_ = reg.GetCounter("pmem.write_bytes", {{"source", "remote"}});
+  local_write_bytes_ = reg.GetCounter("pmem.write_bytes", {{"source", "local"}});
+  flushes_ = reg.GetCounter("pmem.flushes");
+  flush_bytes_ = reg.GetCounter("pmem.flush_bytes");
+}
+
+uint64_t PmemDevice::PendingBytesLocked() const {
+  uint64_t total = 0;
+  for (const auto& [offset, end] : pending_) total += end - offset;
+  return total;
+}
 
 Status PmemDevice::WriteFromRemote(uint64_t offset, Slice data) {
   if (offset + data.size() > capacity_) {
@@ -20,6 +32,7 @@ Status PmemDevice::WriteFromRemote(uint64_t offset, Slice data) {
     memcpy(bytes_.data() + offset, data.data(), data.size());
     MarkPendingLocked(offset, data.size());
   }
+  remote_write_bytes_->Add(data.size());
   checker_.OnWrite(offset, data.size(), /*persistent=*/false);
   return Status::OK();
 }
@@ -32,6 +45,7 @@ Status PmemDevice::WriteLocal(uint64_t offset, Slice data) {
     std::lock_guard<std::mutex> lk(mu_);
     memcpy(bytes_.data() + offset, data.data(), data.size());
   }
+  local_write_bytes_->Add(data.size());
   checker_.OnWrite(offset, data.size(), /*persistent=*/true);
   return Status::OK();
 }
@@ -71,16 +85,20 @@ void PmemDevice::FlushViaRdmaRead() {
   if (ddio_enabled_) return;  // read hits the LLC; nothing reaches the iMC
   {
     std::lock_guard<std::mutex> lk(mu_);
+    flush_bytes_->Add(PendingBytesLocked());
     pending_.clear();
   }
+  flushes_->Add(1);
   checker_.OnFlush();
 }
 
 void PmemDevice::PersistAll() {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    flush_bytes_->Add(PendingBytesLocked());
     pending_.clear();
   }
+  flushes_->Add(1);
   checker_.OnFlush();
 }
 

@@ -21,6 +21,7 @@
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "pmem/persist_checker.h"
 
 namespace vedb::pmem {
@@ -79,6 +80,9 @@ class PmemDevice {
  private:
   void MarkPendingLocked(uint64_t offset, uint64_t len);
 
+  /// Sums the byte lengths of all pending ranges. Caller holds mu_.
+  uint64_t PendingBytesLocked() const;
+
   const uint64_t capacity_;
   const bool ddio_enabled_;
   mutable std::mutex mu_;
@@ -87,6 +91,12 @@ class PmemDevice {
   std::map<uint64_t, uint64_t> pending_;
   Random crash_rng_;
   PersistChecker checker_;
+
+  // Observability (resolved once at construction; see obs/metrics.h).
+  obs::Counter* remote_write_bytes_ = nullptr;
+  obs::Counter* local_write_bytes_ = nullptr;
+  obs::Counter* flushes_ = nullptr;
+  obs::Counter* flush_bytes_ = nullptr;
 };
 
 }  // namespace vedb::pmem

@@ -23,8 +23,15 @@ PushdownRuntime::PushdownRuntime(
           return HandleEbpExec(server, req, resp, start, done);
         });
   }
-  std::set<sim::SimNode*> distinct(pagestore_nodes.begin(),
-                                   pagestore_nodes.end());
+  // Dedup preserving input order: pointer-ordered iteration would vary
+  // with heap layout across processes (see PageStoreCluster::StartBackground).
+  std::vector<sim::SimNode*> distinct;
+  for (sim::SimNode* node : pagestore_nodes) {
+    if (std::find(distinct.begin(), distinct.end(), node) ==
+        distinct.end()) {
+      distinct.push_back(node);
+    }
+  }
   for (sim::SimNode* node : distinct) {
     rpc_->RegisterTimedService(
         node, "pq.exec.ps",

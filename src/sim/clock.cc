@@ -1,5 +1,7 @@
 #include "sim/clock.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace vedb::sim {
@@ -7,6 +9,19 @@ namespace vedb::sim {
 namespace {
 // The clock the current thread is registered with (at most one).
 thread_local VirtualClock* tls_actor_clock = nullptr;
+
+// Temporary scheduler trace (debug only): VEDB_SCHED_TRACE=1.
+bool SchedTraceOn() {
+  static const bool on = getenv("VEDB_SCHED_TRACE") != nullptr;
+  return on;
+}
+#define SCHED_TRACE(...)                       \
+  do {                                         \
+    if (SchedTraceOn()) {                      \
+      fprintf(stderr, "[sched] " __VA_ARGS__); \
+      fputc('\n', stderr);                     \
+    }                                          \
+  } while (0)
 }  // namespace
 
 VirtualClock::ActorSlot* VirtualClock::Slot() {
@@ -24,14 +39,28 @@ VirtualClock::ExternalWaitScope::ExternalWaitScope(VirtualClock* clock)
   std::lock_guard<std::mutex> lk(clock_->mu_);
   clock_->blocked_++;
   clock_->external_waits_++;
-  clock_->MaybeAdvanceLocked();
+  // The externally-waiting actor releases the run token so the simulation
+  // keeps going without it.
+  if (clock_->runner_ == Slot()) clock_->runner_ = nullptr;
+  clock_->ScheduleLocked();
 }
 
 VirtualClock::ExternalWaitScope::~ExternalWaitScope() {
   if (clock_ == nullptr) return;
-  std::lock_guard<std::mutex> lk(clock_->mu_);
+  std::unique_lock<std::mutex> lk(clock_->mu_);
   clock_->blocked_--;
   clock_->external_waits_--;
+  // Rejoin serialized execution: wait for the run token instead of running
+  // concurrently with whoever holds it. Rejoiners bypass the ready queue —
+  // returning from the outside world is a real-time event, and this thread
+  // may be the one that opens the spawn gate (ActorGroup::Start).
+  ActorSlot* slot = Slot();
+  slot->seq++;
+  slot->runnable = false;
+  slot->ready = false;
+  clock_->rejoiners_.push_back(slot);
+  clock_->ScheduleLocked();
+  slot->cv.wait(lk, [&] { return slot->runnable; });
 }
 
 Timestamp VirtualClock::Now() const {
@@ -45,19 +74,31 @@ int VirtualClock::actor_count() const {
 }
 
 void VirtualClock::RegisterActor() {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(mu_);
   actors_++;
   tls_actor_clock = this;
+  // Joining the serialized schedule: wait for the run token like everyone
+  // else (granted immediately when the simulation is otherwise idle).
+  AwaitTokenLocked(lk, Slot());
 }
 
-void VirtualClock::ReserveActor() {
+uint64_t VirtualClock::ReserveActor() {
   std::lock_guard<std::mutex> lk(mu_);
   actors_++;
+  reserved_unbound_++;
+  return next_ticket_++;
 }
 
-void VirtualClock::BindReservedActor() {
-  // The slot was already counted by ReserveActor(); just bind the thread.
+void VirtualClock::BindReservedActor(uint64_t ticket) {
+  std::unique_lock<std::mutex> lk(mu_);
   tls_actor_clock = this;
+  ActorSlot* slot = Slot();
+  slot->runnable = false;
+  slot->ready = true;  // admitted, but parked in pending_bind_ until flush
+  pending_bind_.emplace_back(ticket, slot);
+  reserved_unbound_--;
+  ScheduleLocked();
+  slot->cv.wait(lk, [&] { return slot->runnable; });
 }
 
 void VirtualClock::UnregisterActor() {
@@ -82,11 +123,46 @@ void VirtualClock::UnregisterActor() {
     sleepers_.pop();
   }
   for (auto& entry : keep) sleepers_.push(entry);
-  MaybeAdvanceLocked();
+  if (runner_ == slot) runner_ = nullptr;  // hand the token on
+  ScheduleLocked();
 }
 
-void VirtualClock::MaybeAdvanceLocked() {
+void VirtualClock::ScheduleLocked() {
   while (true) {
+    SCHED_TRACE("sched: runner=%p ready=%zu pend=%zu resv=%d actors=%d "
+                "blocked=%d ext=%d sleepers=%zu now=%llu",
+                (void*)runner_, ready_.size(), pending_bind_.size(),
+                reserved_unbound_, actors_, blocked_, external_waits_,
+                sleepers_.size(), (unsigned long long)now_);
+    if (runner_ != nullptr) return;  // the token is held; nothing to do
+    if (!rejoiners_.empty()) {
+      ActorSlot* slot = rejoiners_.front();
+      rejoiners_.pop_front();
+      slot->runnable = true;
+      runner_ = slot;
+      slot->cv.notify_one();
+      return;
+    }
+    // While a spawned actor's thread has not started yet, hold dispatch:
+    // once it binds, all pending admissions flush in ticket order, so the
+    // schedule is independent of real-time thread start-up.
+    if (reserved_unbound_ > 0) return;
+    if (!pending_bind_.empty()) {
+      std::sort(pending_bind_.begin(), pending_bind_.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& [ticket, slot] : pending_bind_) ready_.push_back(slot);
+      pending_bind_.clear();
+    }
+    if (!ready_.empty()) {
+      // Grant the run token to the next ready actor.
+      ActorSlot* slot = ready_.front();
+      ready_.pop_front();
+      slot->ready = false;
+      slot->runnable = true;
+      runner_ = slot;
+      slot->cv.notify_one();
+      return;
+    }
     if (actors_ == 0 || blocked_ < actors_) return;
     // Drop stale timer entries (owner already woken, or from an earlier
     // block of the same thread).
@@ -108,20 +184,28 @@ void VirtualClock::MaybeAdvanceLocked() {
     }
     const Timestamp next = sleepers_.top().wake;
     if (next > now_) now_ = next;
-    // Wake every sleeper whose time has arrived; they become runnable.
-    bool woke = false;
+    // Ready every sleeper whose time has arrived; they run one at a time in
+    // timer pop order (the loop re-enters and dispatches ready_.front()).
     while (!sleepers_.empty() && sleepers_.top().wake <= now_) {
       SleepEntry entry = sleepers_.top();
       sleepers_.pop();
       if (EntryStaleLocked(entry)) continue;
-      entry.slot->runnable = true;
+      entry.slot->ready = true;
       blocked_--;
-      entry.slot->cv.notify_one();
-      woke = true;
+      ready_.push_back(entry.slot);
     }
-    if (woke) return;
-    // Everything at this instant was stale; advance again.
+    // Everything at this instant may have been stale; loop advances again.
   }
+}
+
+void VirtualClock::AwaitTokenLocked(std::unique_lock<std::mutex>& lk,
+                                    ActorSlot* slot) {
+  slot->seq++;  // invalidate any stale timer entries pointing at this slot
+  slot->runnable = false;
+  slot->ready = true;
+  ready_.push_back(slot);
+  ScheduleLocked();
+  slot->cv.wait(lk, [&] { return slot->runnable; });
 }
 
 void VirtualClock::BlockCurrentLocked(std::unique_lock<std::mutex>& lk,
@@ -134,27 +218,32 @@ void VirtualClock::BlockCurrentLocked(std::unique_lock<std::mutex>& lk,
   if (guest) actors_++;
   slot->seq++;
   slot->runnable = false;
+  slot->ready = false;
   if (deadline != nullptr) {
     sleepers_.push(SleepEntry{*deadline, slot, slot->seq});
   }
   // Race detection: blocking hands control to other actors — everything the
   // blocker did so far happens-before whatever runs after the next clock
-  // hand-off. Release before MaybeAdvanceLocked so an actor woken inside
+  // hand-off. Release before ScheduleLocked so an actor woken inside
   // that call already sees this release.
   if (RaceDetector::IsEnabled()) {
     RaceDetector::Instance().ClockBlockRelease(this);
   }
   blocked_++;
-  MaybeAdvanceLocked();
+  if (runner_ == slot) runner_ = nullptr;  // blocking releases the token
+  ScheduleLocked();
   slot->cv.wait(lk, [&] { return slot->runnable; });
   if (RaceDetector::IsEnabled()) {
     RaceDetector::Instance().ClockWakeAcquire(this);
   }
-  // Whoever made us runnable (clock advance or condition notify) already
-  // decremented blocked_ on our behalf.
+  // Whoever readied us (clock advance or condition notify) already
+  // decremented blocked_ on our behalf; the dispatcher granted us the run
+  // token. A guest leaves the actor set (and gives the token straight back)
+  // the moment it wakes.
   if (guest) {
     actors_--;
-    MaybeAdvanceLocked();
+    if (runner_ == slot) runner_ = nullptr;
+    ScheduleLocked();
   }
 }
 
@@ -221,28 +310,29 @@ void VirtualCondition::NotifyAll() {
   std::lock_guard<std::mutex> lk(clock_->mu_);
   generation_++;
   for (VirtualClock::ActorSlot* slot : parked_) {
-    if (slot->runnable) continue;  // already woken by its timer
-    slot->runnable = true;
+    if (slot->runnable || slot->ready) continue;  // already woken by timer
+    slot->ready = true;
     clock_->blocked_--;
-    slot->cv.notify_one();
+    clock_->ready_.push_back(slot);
   }
   parked_.clear();
   clock_->parked_conditions_.erase(this);
+  clock_->ScheduleLocked();
 }
 
 void ActorGroup::Spawn(std::function<void()> fn) {
-  clock_->ReserveActor();
+  const uint64_t ticket = clock_->ReserveActor();
   // Fork edge: the spawner's prior writes happen-before the new actor.
   const uint64_t fork_token = RaceDetector::IsEnabled()
                                   ? RaceDetector::Instance().ForkCapture()
                                   : 0;
-  threads_.emplace_back([this, clock = clock_, fork_token,
+  threads_.emplace_back([this, clock = clock_, ticket, fork_token,
                          fn = std::move(fn)] {
     {
       std::unique_lock<std::mutex> lk(mu_);
       start_cv_.wait(lk, [this] { return started_; });
     }
-    clock->BindReservedActor();
+    clock->BindReservedActor(ticket);
     if (fork_token != 0 && RaceDetector::IsEnabled()) {
       RaceDetector::Instance().ForkJoin(fork_token);
     }

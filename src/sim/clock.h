@@ -5,6 +5,17 @@
 // unmodified on real threads while all latency is measured in deterministic
 // virtual nanoseconds.
 //
+// Execution is SERIALIZED: the clock grants a single run token, so at most
+// one registered actor executes at a time. Actors woken at the same virtual
+// instant run one after another in a deterministic ready order (timer pop
+// order, condition parking order, spawn order) instead of racing on real
+// threads. This is what makes two identical seeded runs byte-identical even
+// when many actors wake at the same instant and contend for shared device
+// queues or RNG draws. Threads that never registered ("guests", e.g. a test
+// main constructing a cluster) still run outside the token and may interleave
+// with actors in real time; fully deterministic phases must be driven by a
+// registered actor.
+//
 // Rules for actor code:
 //  * Short critical sections may use plain std::mutex (the holder is running,
 //    so real-time blocking is invisible to virtual time).
@@ -12,17 +23,21 @@
 //    virtual time (row locks held across I/O, group-commit waits, RPC
 //    completions) must use VirtualCondition, otherwise the clock deadlocks
 //    (and aborts with a diagnostic).
+//  * Never spin on shared state waiting for another actor without blocking
+//    through the clock — the spinner holds the run token forever.
 
 #ifndef VEDB_SIM_CLOCK_H_
 #define VEDB_SIM_CLOCK_H_
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -46,17 +61,21 @@ class VirtualClock {
 
   /// Declares the calling thread an actor. Every actor must either be
   /// runnable or blocked through this clock; the clock only advances when
-  /// all actors are blocked.
+  /// all actors are blocked. Blocks until the scheduler grants the calling
+  /// thread the run token.
   void RegisterActor();
 
   /// Removes the calling thread from the actor set (call before exit).
   void UnregisterActor();
 
   /// Reserves an actor slot before the actor thread starts running, so the
-  /// clock cannot advance past the new actor's birth. The spawned thread
-  /// must call BindReservedActor() instead of RegisterActor().
-  void ReserveActor();
-  void BindReservedActor();
+  /// clock cannot advance past the new actor's birth. Returns an admission
+  /// ticket: reserved actors enter the ready queue in ticket order (i.e.
+  /// spawn order), regardless of the real-time order their threads start.
+  /// The spawned thread must call BindReservedActor(ticket) instead of
+  /// RegisterActor().
+  uint64_t ReserveActor();
+  void BindReservedActor(uint64_t ticket);
 
   /// Blocks the calling actor until virtual time reaches `t`.
   void SleepUntil(Timestamp t);
@@ -89,9 +108,12 @@ class VirtualClock {
   // Per-actor parking slot. Lives in thread-local storage; an actor is only
   // ever blocked on its own slot. `seq` increments on every block so stale
   // timer entries from earlier blocks can be recognized and skipped.
+  // `runnable` means "holds the run token, may execute"; `ready` means
+  // "logically woken, queued for the token".
   struct ActorSlot {
     std::condition_variable cv;
     bool runnable = true;
+    bool ready = false;
     uint64_t seq = 0;
   };
   static ActorSlot* Slot();
@@ -105,9 +127,15 @@ class VirtualClock {
 
   // All state below guarded by mu_.
   bool EntryStaleLocked(const SleepEntry& e) const {
-    return e.slot->runnable || e.slot->seq != e.seq;
+    return e.slot->runnable || e.slot->ready || e.slot->seq != e.seq;
   }
-  void MaybeAdvanceLocked();
+  /// The scheduler: hands the run token to the next ready actor, or — when
+  /// nothing is ready and every actor is blocked — advances virtual time
+  /// and readies the due sleepers. No-op while the token is held.
+  void ScheduleLocked();
+  /// Enqueues the calling thread's slot as ready and blocks until the
+  /// scheduler grants it the run token.
+  void AwaitTokenLocked(std::unique_lock<std::mutex>& lk, ActorSlot* slot);
   /// Blocks the current actor; if `deadline` is non-null a timer entry is
   /// registered too.
   void BlockCurrentLocked(std::unique_lock<std::mutex>& lk, ActorSlot* slot,
@@ -121,6 +149,19 @@ class VirtualClock {
   int actors_ = 0;
   int blocked_ = 0;         // actors currently sleeping/parked/external
   int external_waits_ = 0;  // subset of blocked_: waiting outside the clock
+  ActorSlot* runner_ = nullptr;   // holder of the run token, if any
+  std::deque<ActorSlot*> ready_;  // woken actors awaiting the token, FIFO
+  // Actors returning from an ExternalWaitScope. Served before ready_ and
+  // exempt from the reserved-actor admission gate: a rejoiner may be the
+  // very thread that must call ActorGroup::Start() to open that gate.
+  std::deque<ActorSlot*> rejoiners_;
+  // Spawned-but-not-yet-admitted actors. Bound slots buffer here and are
+  // flushed into ready_ in ticket order at the next dispatch, so the
+  // real-time order in which spawned threads start cannot perturb the
+  // schedule.
+  std::vector<std::pair<uint64_t, ActorSlot*>> pending_bind_;
+  int reserved_unbound_ = 0;  // reservations whose thread has not bound yet
+  uint64_t next_ticket_ = 1;
   std::priority_queue<SleepEntry, std::vector<SleepEntry>,
                       std::greater<SleepEntry>>
       sleepers_;

@@ -36,7 +36,7 @@ Timestamp QueueingDevice::Submit(uint64_t bytes, Duration extra_cost) {
 }
 
 Timestamp QueueingDevice::SubmitAt(Timestamp earliest, uint64_t bytes,
-                                   Duration extra_cost) {
+                                   Duration extra_cost, Duration* queue_wait) {
   std::lock_guard<std::mutex> lk(mu_);
   ops_++;
   // Pick the channel that frees up first.
@@ -44,6 +44,7 @@ Timestamp QueueingDevice::SubmitAt(Timestamp earliest, uint64_t bytes,
   const Timestamp start = std::max(earliest, *it);
   const Timestamp done = start + ServiceTime(bytes, extra_cost);
   *it = done;
+  if (queue_wait != nullptr) *queue_wait = start - earliest;
   return done;
 }
 

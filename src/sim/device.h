@@ -52,8 +52,11 @@ class QueueingDevice {
 
   /// Like Submit, but the operation cannot start before `earliest` (used to
   /// chain dependent operations across devices, e.g. NIC then media).
+  /// When `queue_wait` is non-null it receives how long the operation sat
+  /// waiting for a free channel (start - earliest) — observability callers
+  /// use it to split queueing from wire/service time.
   Timestamp SubmitAt(Timestamp earliest, uint64_t bytes,
-                     Duration extra_cost = 0);
+                     Duration extra_cost = 0, Duration* queue_wait = nullptr);
 
   /// Submits and blocks the calling actor until the operation completes.
   /// Returns the operation's latency.

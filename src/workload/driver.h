@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "obs/metrics.h"
 #include "sim/clock.h"
 #include "sim/env.h"
 
@@ -55,7 +56,11 @@ inline LoadResult RunClosedLoop(
           const Timestamp begin = env->clock()->Now();
           const Status s = op(i);
           const Timestamp finish = env->clock()->Now();
-          if (finish < measure_start) continue;  // warmup
+          // Only ops that BEGAN inside the measurement window count. The
+          // old `finish < measure_start` test admitted the op straddling
+          // the warm-up boundary, crediting its warm-up time to the
+          // measured window and skewing the latency tail.
+          if (begin < measure_start) continue;  // warmup
           if (s.ok()) {
             ops++;
             local.Add(finish - begin);
@@ -71,6 +76,13 @@ inline LoadResult RunClosedLoop(
     }
   }
   result.elapsed = duration;
+
+  // Mirror the run into the metrics registry so benches can export it
+  // alongside the per-module metrics (see obs/export.h).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("workload.operations")->Add(result.operations);
+  reg.GetCounter("workload.errors")->Add(result.errors);
+  reg.GetHistogram("workload.txn_latency_ns")->Merge(result.latency);
   return result;
 }
 
