@@ -8,6 +8,23 @@
 
 namespace vedb::astore {
 
+namespace {
+
+// Low-cardinality cause label for the retry counter: the status code only,
+// never the message (messages embed node names and offsets).
+const char* CauseLabel(const Status& s) {
+  switch (s.code()) {
+    case Status::Code::kUnavailable: return "unavailable";
+    case Status::Code::kStale: return "stale";
+    case Status::Code::kTimedOut: return "timed_out";
+    case Status::Code::kIOError: return "io_error";
+    case Status::Code::kBusy: return "busy";
+    default: return "other";
+  }
+}
+
+}  // namespace
+
 AStoreClient::AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
                            net::RdmaFabric* fabric, sim::SimNode* cm_node,
                            sim::SimNode* client_node, ClientId client_id,
@@ -18,13 +35,73 @@ AStoreClient::AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
       cm_node_(cm_node),
       client_node_(client_node),
       client_id_(client_id),
-      options_(options) {
+      options_(options),
+      retry_rng_(0x9e3779b97f4a7c15ull ^ client_id) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   writes_ = reg.GetCounter("astore.client.writes");
   write_bytes_ = reg.GetCounter("astore.client.write_bytes");
   write_ns_ = reg.GetHistogram("astore.client.write_ns");
   reads_ = reg.GetCounter("astore.client.reads");
   read_ns_ = reg.GetHistogram("astore.client.read_ns");
+  route_refreshes_ = reg.GetCounter("astore.client.route_refreshes");
+  unfreezes_ = reg.GetCounter("astore.client.unfreezes");
+}
+
+bool AStoreClient::Retriable(const Status& s) const {
+  // Transient by construction: node down, route out of date, deadline
+  // expiry, fabric hiccup, slot churn. Everything else — LeaseExpired,
+  // NoSpace, NotFound, Corruption, InvalidArgument — is a fact a retry
+  // cannot change.
+  return s.IsUnavailable() || s.IsStale() || s.IsTimedOut() || s.IsIOError() ||
+         s.IsBusy();
+}
+
+Duration AStoreClient::BackoffDelay(int attempt) {
+  const RetryPolicy& rp = options_.retry;
+  Duration base = rp.initial_backoff;
+  for (int i = 1; i < attempt && base < rp.max_backoff; ++i) base *= 2;
+  if (base > rp.max_backoff) base = rp.max_backoff;
+  std::lock_guard<std::mutex> lk(retry_mu_);
+  // Jitter in [base/2, base]: decorrelates clients without ever collapsing
+  // the delay to zero.
+  return base / 2 + static_cast<Duration>(retry_rng_.Uniform(
+                        static_cast<uint64_t>(base / 2 + 1)));
+}
+
+void AStoreClient::CountRetry(const char* op, const Status& cause) {
+  obs::MetricsRegistry::Default()
+      .GetCounter("astore.client.retries",
+                  {{"op", op}, {"cause", CauseLabel(cause)}})
+      ->Add(1);
+}
+
+Status AStoreClient::CmCall(const char* op, const std::string& service,
+                            Slice request, std::string* response,
+                            bool idempotent) {
+  const RetryPolicy& rp = options_.retry;
+  const Timestamp deadline = (rp.enabled && rp.op_deadline != 0)
+                                 ? env_->clock()->Now() + rp.op_deadline
+                                 : 0;
+  Status s;
+  for (int attempt = 1;; ++attempt) {
+    s = env_->faults()->MaybeFail("astore.client.cm");
+    if (s.ok()) {
+      net::RpcCallOptions opts;
+      if (idempotent && rp.cm_deadline != 0) {
+        opts.deadline = env_->clock()->Now() + rp.cm_deadline;
+      }
+      response->clear();
+      s = rpc_->Call(client_node_, cm_node_, service, request, response, opts);
+    }
+    if (s.ok() || !rp.enabled || !Retriable(s)) return s;
+    if (attempt >= rp.max_attempts) return s;
+    const Timestamp now = env_->clock()->Now();
+    if (deadline != 0 && now >= deadline) return s;
+    CountRetry(op, s);
+    Timestamp wake = now + BackoffDelay(attempt);
+    if (deadline != 0 && wake > deadline) wake = deadline;
+    env_->clock()->SleepUntil(wake);
+  }
 }
 
 Status AStoreClient::Connect() { return RenewLease(); }
@@ -46,8 +123,8 @@ Result<SegmentHandlePtr> AStoreClient::CreateSegment(uint64_t size,
   PutFixed64(&req, client_id_);
   PutFixed64(&req, size);
   PutFixed32(&req, static_cast<uint32_t>(replication));
-  VEDB_RETURN_IF_ERROR(rpc_->Call(client_node_, cm_node_, "cm.create_segment",
-                                  Slice(req), &resp));
+  VEDB_RETURN_IF_ERROR(CmCall("create", "cm.create_segment", Slice(req),
+                              &resp, /*idempotent=*/false));
   Slice in(resp);
   SegmentRoute route;
   if (!DecodeSegmentRoute(&in, &route)) {
@@ -63,7 +140,7 @@ Result<SegmentHandlePtr> AStoreClient::OpenSegment(SegmentId id) {
   std::string req, resp;
   PutFixed64(&req, id);
   VEDB_RETURN_IF_ERROR(
-      rpc_->Call(client_node_, cm_node_, "cm.get_route", Slice(req), &resp));
+      CmCall("open", "cm.get_route", Slice(req), &resp, /*idempotent=*/true));
   Slice in(resp);
   SegmentRoute route;
   if (!DecodeSegmentRoute(&in, &route)) {
@@ -84,13 +161,16 @@ Status AStoreClient::Append(const SegmentHandlePtr& handle, Slice data,
     std::lock_guard<std::mutex> lk(handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");
     if (handle->frozen_) return Status::Unavailable("segment frozen");
-    if (handle->write_offset_ + data.size() > handle->route_.size) {
+    // Subtraction form: `write_offset_ + data.size()` wraps for sizes near
+    // UINT64_MAX and would bypass the capacity check.
+    if (data.size() > handle->route_.size ||
+        handle->write_offset_ > handle->route_.size - data.size()) {
       return Status::NoSpace("segment full");
     }
     offset = handle->write_offset_;
     handle->write_offset_ += data.size();
   }
-  Status s = WriteInternal(handle, offset, data);
+  Status s = WriteWithRecovery(handle, offset, data, "append");
   if (s.ok() && offset_out != nullptr) *offset_out = offset;
   return s;
 }
@@ -101,11 +181,49 @@ Status AStoreClient::WriteAt(const SegmentHandlePtr& handle, uint64_t offset,
     std::lock_guard<std::mutex> lk(handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");
     if (handle->frozen_) return Status::Unavailable("segment frozen");
-    if (offset + data.size() > handle->route_.size) {
+    if (data.size() > handle->route_.size ||
+        offset > handle->route_.size - data.size()) {
       return Status::InvalidArgument("write past segment end");
     }
   }
-  return WriteInternal(handle, offset, data);
+  return WriteWithRecovery(handle, offset, data, "write_at");
+}
+
+Status AStoreClient::WriteWithRecovery(const SegmentHandlePtr& handle,
+                                       uint64_t offset, Slice data,
+                                       const char* op) {
+  Status s = WriteInternal(handle, offset, data);
+  const RetryPolicy& rp = options_.retry;
+  if (s.ok() || !rp.enabled) return s;
+  const Timestamp deadline =
+      rp.op_deadline == 0 ? 0 : env_->clock()->Now() + rp.op_deadline;
+  for (int attempt = 1; attempt < rp.max_attempts; ++attempt) {
+    if (!Retriable(s)) return s;
+    if (handle->stale()) return s;  // reclaimed/deleted: permanently gone
+    const Timestamp now = env_->clock()->Now();
+    if (deadline != 0 && now >= deadline) return s;
+    CountRetry(op, s);
+    Timestamp wake = now + BackoffDelay(attempt);
+    if (deadline != 0 && wake > deadline) wake = deadline;
+    env_->clock()->SleepUntil(wake);
+    // Pick up the CM's rebuilt replica set before re-posting. discard-ok:
+    // an unreachable CM keeps the cached route and the retry proceeds.
+    (void)RefreshRoute(handle);
+    if (handle->stale()) return Status::Stale("segment route is stale");
+    // The failed writer owns repair of its reserved range: it bypasses the
+    // frozen gate and re-posts the same bytes at the same offset on every
+    // replica, so a success re-establishes replica agreement — which is
+    // why it may also lift the freeze it caused.
+    s = WriteInternal(handle, offset, data);
+    if (s.ok()) {
+      std::lock_guard<std::mutex> lk(handle->mu_);
+      if (handle->frozen_ && !handle->stale_) {
+        handle->frozen_ = false;
+        unfreezes_->Add(1);
+      }
+    }
+  }
+  return s;
 }
 
 Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
@@ -114,6 +232,17 @@ Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
   // may have been reclaimed for another client (Section IV-C).
   if (options_.enforce_lease && !LeaseValid()) {
     return Status::LeaseExpired("client lease expired");
+  }
+
+  // Injection point for the whole fan-out (costs nothing unarmed). An
+  // injected failure behaves exactly like a replica failure: freeze, then
+  // let the recovery loop repair.
+  Status injected = env_->faults()->MaybeFail("astore.client.write");
+  if (!injected.ok()) {
+    std::lock_guard<std::mutex> lk(handle->mu_);
+    handle->frozen_ = true;
+    handle->frozen_epoch_ = handle->route_.epoch;
+    return injected;
   }
 
   const Timestamp t0 = env_->clock()->Now();
@@ -161,6 +290,7 @@ Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
       // freezes the segment with the current effective length."
       std::lock_guard<std::mutex> lk(handle->mu_);
       handle->frozen_ = true;
+      handle->frozen_epoch_ = handle->route_.epoch;
       return s;
     }
   }
@@ -222,10 +352,35 @@ Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
   {
     std::lock_guard<std::mutex> lk(handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");
-    if (offset + len > handle->route_.size) {
+    if (len > handle->route_.size || offset > handle->route_.size - len) {
       return Status::InvalidArgument("read past segment end");
     }
   }
+  Status s = ReadInternal(handle, offset, len, out);
+  const RetryPolicy& rp = options_.retry;
+  if (s.ok() || !rp.enabled) return s;
+  const Timestamp deadline =
+      rp.op_deadline == 0 ? 0 : env_->clock()->Now() + rp.op_deadline;
+  for (int attempt = 1; attempt < rp.max_attempts; ++attempt) {
+    if (!Retriable(s)) return s;
+    if (handle->stale()) return s;
+    const Timestamp now = env_->clock()->Now();
+    if (deadline != 0 && now >= deadline) return s;
+    CountRetry("read", s);
+    Timestamp wake = now + BackoffDelay(attempt);
+    if (deadline != 0 && wake > deadline) wake = deadline;
+    env_->clock()->SleepUntil(wake);
+    // discard-ok: an unreachable CM keeps the cached route.
+    (void)RefreshRoute(handle);
+    if (handle->stale()) return Status::Stale("segment route is stale");
+    s = ReadInternal(handle, offset, len, out);
+  }
+  return s;
+}
+
+Status AStoreClient::ReadInternal(const SegmentHandlePtr& handle,
+                                  uint64_t offset, uint64_t len, char* out) {
+  VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("astore.client.read"));
   const Timestamp t0 = env_->clock()->Now();
   obs::SpanScope span(obs::Tracer::Global(), "astore.client.read");
   span.AddTag("segment", std::to_string(handle->id()));
@@ -233,21 +388,28 @@ Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
   SegmentRoute route = handle->route();
   if (route.replicas.empty()) return Status::Unavailable("no replicas");
 
-  // "Selects an online copy to read through one-sided RDMA READ."
+  // "Selects an online copy to read through one-sided RDMA READ." A failed
+  // copy does not fail the read: we fail over to the next replica and only
+  // surface the last error once every copy has been tried.
   const uint64_t start = read_rr_.fetch_add(1);
+  Status last = Status::Unavailable("no live replica for segment");
   for (size_t i = 0; i < route.replicas.size(); ++i) {
     const auto& loc = route.replicas[(start + i) % route.replicas.size()];
     sim::SimNode* node = env_->GetNode(loc.node);
     if (!node->alive()) continue;
-    Status s = fabric_->Read(client_node_, loc.region, loc.base_offset + offset,
-                             len, out);
+    Status s = env_->faults()->MaybeFail("astore.client.read.replica");
+    if (s.ok()) {
+      s = fabric_->Read(client_node_, loc.region, loc.base_offset + offset,
+                        len, out);
+    }
     if (s.ok()) {
       reads_->Add(1);
       read_ns_->Observe(env_->clock()->Now() - t0);
+      return s;
     }
-    return s;
+    last = std::move(s);
   }
-  return Status::Unavailable("no live replica for segment");
+  return last;
 }
 
 Status AStoreClient::Delete(const SegmentHandlePtr& handle) {
@@ -282,31 +444,57 @@ void AStoreClient::RefreshRoutes() {
     }
   }
   for (const SegmentHandlePtr& handle : handles) {
-    std::string req, resp;
-    PutFixed64(&req, handle->id());
-    Status s =
-        rpc_->Call(client_node_, cm_node_, "cm.get_route", Slice(req), &resp);
-    std::lock_guard<std::mutex> lk(handle->mu_);
-    if (s.IsNotFound()) {
-      // Deleted (possibly reclaimed): stop using it before the server's
-      // cleaning deadline can hand the space to someone else.
-      handle->stale_ = true;
-      handle->frozen_ = true;
-      continue;
+    // discard-ok: per-handle refresh failures (CM unreachable) keep the
+    // cached route; the next refresh pass tries again.
+    (void)RefreshRoute(handle);
+  }
+}
+
+Status AStoreClient::RefreshRoute(const SegmentHandlePtr& handle) {
+  std::string req, resp;
+  PutFixed64(&req, handle->id());
+  Status s = env_->faults()->MaybeFail("astore.client.cm");
+  if (s.ok()) {
+    net::RpcCallOptions opts;
+    if (options_.retry.cm_deadline != 0) {
+      opts.deadline = env_->clock()->Now() + options_.retry.cm_deadline;
     }
-    if (!s.ok()) continue;  // CM unreachable: keep the cached route
-    Slice in(resp);
-    SegmentRoute route;
-    if (!DecodeSegmentRoute(&in, &route)) continue;
-    if (route.owner != client_id_) {
-      handle->stale_ = true;
-      handle->frozen_ = true;
-      continue;
-    }
-    if (route.epoch != handle->route_.epoch) {
-      handle->route_ = std::move(route);
+    s = rpc_->Call(client_node_, cm_node_, "cm.get_route", Slice(req), &resp,
+                   opts);
+  }
+  route_refreshes_->Add(1);
+  std::lock_guard<std::mutex> lk(handle->mu_);
+  if (s.IsNotFound()) {
+    // Deleted (possibly reclaimed): stop using it before the server's
+    // cleaning deadline can hand the space to someone else.
+    handle->stale_ = true;
+    handle->frozen_ = true;
+    return s;
+  }
+  if (!s.ok()) return s;  // CM unreachable: keep the cached route
+  Slice in(resp);
+  SegmentRoute route;
+  if (!DecodeSegmentRoute(&in, &route)) {
+    return Status::Corruption("bad route response");
+  }
+  if (route.owner != client_id_) {
+    handle->stale_ = true;
+    handle->frozen_ = true;
+    return Status::Stale("segment reclaimed by another owner");
+  }
+  if (route.epoch != handle->route_.epoch) {
+    const bool advanced = route.epoch > handle->route_.epoch;
+    handle->route_ = std::move(route);
+    // The CM rebuilt the replica set past the failure that froze this
+    // handle, so the freeze no longer protects anything: un-freeze (the
+    // recovery half of Section IV-C's stale-route protocol).
+    if (advanced && handle->frozen_ && !handle->stale_ &&
+        handle->route_.epoch > handle->frozen_epoch_) {
+      handle->frozen_ = false;
+      unfreezes_->Add(1);
     }
   }
+  return Status::OK();
 }
 
 void AStoreClient::BackgroundLoop() {

@@ -29,6 +29,33 @@
 
 namespace vedb::astore {
 
+/// Transparent failure recovery (Section IV-C's client duty). On a
+/// retriable status — Unavailable, Stale, TimedOut, IOError, Busy — the
+/// client re-fetches the route from the CM, un-freezes the handle once the
+/// route epoch has advanced past the failure, and retries with bounded
+/// exponential backoff plus deterministic jitter on the virtual clock.
+/// Permanent conditions (lease expiry, reclaimed/deleted segments, bad
+/// arguments, NoSpace) surface immediately.
+struct RetryPolicy {
+  /// Master switch. Off = every transient failure surfaces to the caller
+  /// (the pre-recovery behaviour; the EBP cache path wants this).
+  bool enabled = true;
+  /// Upper bound on attempts per operation, first try included.
+  int max_attempts = 64;
+  /// First backoff; doubles per attempt up to `max_backoff`.
+  Duration initial_backoff = 200 * kMicrosecond;
+  Duration max_backoff = 10 * kMillisecond;
+  /// Per-operation recovery budget (0 = unbounded). Must stay well under
+  /// the CM lease duration or a retrying writer can outlive its own lease
+  /// mid-loop and surface LeaseExpired instead of the original cause.
+  Duration op_deadline = 800 * kMillisecond;
+  /// Per-attempt RPC deadline for idempotent CM calls (cm.get_route).
+  /// Non-idempotent calls (cm.create_segment) never get one: a slow but
+  /// successful create reported TimedOut and then retried would orphan
+  /// the first segment.
+  Duration cm_deadline = 2 * kMillisecond;
+};
+
 /// Client-side state of one open segment. Obtained from AStoreClient;
 /// shareable across threads.
 class SegmentHandle {
@@ -71,6 +98,10 @@ class SegmentHandle {
   uint64_t write_offset_ = 0;
   bool frozen_ = false;
   bool stale_ = false;
+  // Route epoch at the moment the handle was frozen. A refreshed route
+  // whose epoch is beyond this means the CM rebuilt the replica set past
+  // the failure, so the freeze no longer protects anything.
+  uint64_t frozen_epoch_ = 0;
 };
 
 using SegmentHandlePtr = std::shared_ptr<SegmentHandle>;
@@ -92,6 +123,8 @@ class AStoreClient {
     Duration read_sdk_overhead = 4 * kMicrosecond;
     /// Reject writes when the local lease has expired.
     bool enforce_lease = true;
+    /// Transparent retry/backoff/deadline behaviour (see RetryPolicy).
+    RetryPolicy retry;
   };
 
   AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
@@ -109,18 +142,23 @@ class AStoreClient {
   Result<SegmentHandlePtr> OpenSegment(SegmentId id);
 
   /// Appends `data` at the handle's write cursor; all replicas must ack.
-  /// On any replica failure the segment is frozen and an error returned —
+  /// A replica failure freezes the segment, then (with retry enabled) the
+  /// failed writer owns repair: it re-fetches the route, re-posts the same
+  /// bytes at its reserved offset, and un-freezes on success. Only after
+  /// the retry budget is exhausted does the error surface — at which point
   /// the caller opens a new segment and retries there (Section IV-B).
   /// Returns the start offset via `offset_out`.
   Status Append(const SegmentHandlePtr& handle, Slice data,
                 uint64_t* offset_out);
 
   /// Writes `data` at an explicit offset (used for SegmentRing headers and
-  /// EBP slot placement). Subject to the same lease/freeze checks.
+  /// EBP slot placement). Subject to the same lease/freeze checks and the
+  /// same transparent recovery as Append.
   Status WriteAt(const SegmentHandlePtr& handle, uint64_t offset, Slice data);
 
-  /// Reads `len` bytes at `offset` from one live replica via one-sided
-  /// RDMA READ.
+  /// Reads `len` bytes at `offset` via one-sided RDMA READ. Fails over
+  /// across replicas within one attempt; with retry enabled, refreshes the
+  /// route and retries when no replica could serve the read.
   Status Read(const SegmentHandlePtr& handle, uint64_t offset, uint64_t len,
               char* out);
 
@@ -163,6 +201,22 @@ class AStoreClient {
  private:
   Status WriteInternal(const SegmentHandlePtr& handle, uint64_t offset,
                        Slice data);
+  Status WriteWithRecovery(const SegmentHandlePtr& handle, uint64_t offset,
+                           Slice data, const char* op);
+  Status ReadInternal(const SegmentHandlePtr& handle, uint64_t offset,
+                      uint64_t len, char* out);
+  /// One CM round trip with retry/backoff on transient failures.
+  /// `idempotent` gates the per-attempt RPC deadline (see RetryPolicy).
+  Status CmCall(const char* op, const std::string& service, Slice request,
+                std::string* response, bool idempotent);
+  /// Re-fetches one handle's route from the CM and folds it in: installs
+  /// epoch changes, marks reclaimed/deleted segments stale, and un-freezes
+  /// the handle when the epoch advanced past the freeze.
+  Status RefreshRoute(const SegmentHandlePtr& handle);
+  bool Retriable(const Status& s) const;
+  /// Exponential backoff for `attempt` (1-based) with deterministic jitter.
+  Duration BackoffDelay(int attempt);
+  void CountRetry(const char* op, const Status& cause);
   void BackgroundLoop();
 
   sim::SimEnvironment* env_;
@@ -181,12 +235,19 @@ class AStoreClient {
   std::map<SegmentId, std::weak_ptr<SegmentHandle>> open_;
   std::atomic<uint64_t> read_rr_{0};  // round-robin replica cursor for reads
 
+  // Retry jitter. Seeded from the client id, NOT the environment's seed
+  // stream: arming retries must never shift unrelated downstream draws.
+  std::mutex retry_mu_;
+  Random retry_rng_;
+
   // Observability (resolved once at construction; see obs/metrics.h).
   obs::Counter* writes_ = nullptr;
   obs::Counter* write_bytes_ = nullptr;
   obs::HistogramMetric* write_ns_ = nullptr;
   obs::Counter* reads_ = nullptr;
   obs::HistogramMetric* read_ns_ = nullptr;
+  obs::Counter* route_refreshes_ = nullptr;
+  obs::Counter* unfreezes_ = nullptr;
 };
 
 }  // namespace vedb::astore

@@ -37,6 +37,16 @@ void ClusterManager::CheckHealthNow() {
   std::vector<AStoreServer*> returned;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // Drop leases that expired: holders must re-acquire anyway, and
+    // without pruning the map grows by one entry per client id forever.
+    const Timestamp now = env_->clock()->Now();
+    for (auto it = leases_.begin(); it != leases_.end();) {
+      if (it->second <= now) {
+        it = leases_.erase(it);
+      } else {
+        ++it;
+      }
+    }
     for (auto& [name, info] : servers_) {
       const bool alive = info.server->node()->alive();
       if (!alive && !info.marked_dead) {
@@ -216,17 +226,31 @@ Result<SegmentRoute> ClusterManager::CreateSegment(sim::SimNode* rpc_client,
   // Allocate space on each chosen server ("the AStore Client sends an RPC
   // message to apply for new storage space", Section IV-B — issued here on
   // the caller's behalf, from its node).
+  // On a mid-loop failure the earlier allocations must be handed back, or
+  // the space leaks until the servers' deferred cleaner never fires for it
+  // (no route ever exists, so nothing would ever release it).
+  auto release_partial = [&](Status failure) -> Status {
+    for (size_t i = 0; i < route.replicas.size(); ++i) {
+      std::string req, resp;
+      PutFixed64(&req, route.id);
+      // discard-ok: best-effort undo; an unreachable server's space is
+      // bounded by the segment size and reclaimed when it re-registers.
+      (void)rpc_->Call(rpc_client, chosen[i]->node(), "astore.release",
+                       Slice(req), &resp);
+    }
+    return failure;
+  };
   for (AStoreServer* server : chosen) {
     std::string req, resp;
     PutFixed64(&req, route.id);
     PutFixed64(&req, size);
     Status s = rpc_->Call(rpc_client, server->node(), "astore.alloc",
                           Slice(req), &resp);
-    if (!s.ok()) return s;
+    if (!s.ok()) return release_partial(std::move(s));
     Slice in(resp);
     ReplicaLocation loc;
     if (!DecodeReplicaLocation(&in, &loc)) {
-      return Status::Corruption("bad alloc response");
+      return release_partial(Status::Corruption("bad alloc response"));
     }
     route.replicas.push_back(loc);
   }

@@ -86,6 +86,12 @@ class ClusterManager {
   /// Number of live storage nodes.
   size_t AliveServerCount() const;
 
+  /// Number of tracked (not yet pruned) client leases, expired included.
+  size_t LeaseCount() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return leases_.size();
+  }
+
   /// Runs one health-check sweep immediately (test hook).
   void CheckHealthNow();
 

@@ -315,15 +315,11 @@ Status AStoreLogStore::FlushGroup(
   flushes_->Add(1);
   flush_bytes_->Add(body.size());
   // Flushes are serialized by the single group-commit leader, so ring
-  // placement naturally follows LSN order.
-  VEDB_ASSIGN_OR_RETURN(astore::SegmentRing::Reservation reservation,
-                        ring_->Reserve(first, body.size()));
-  Status s = ring_->CommitReserved(reservation, first, Slice(body));
-  if (s.IsBusy()) {
-    // The reserved segment was replaced under us (replica failure repair).
-    s = ring_->AppendRecord(first, Slice(body));
-  }
-  return s;
+  // placement naturally follows LSN order. AppendRecord owns the whole
+  // reserve/commit/replaced-segment dance (and, below it, the client's
+  // retry layer absorbs transient replica failures) — no special cases
+  // here.
+  return ring_->AppendRecord(first, Slice(body));
 }
 
 Result<std::vector<astore::LogRecord>> AStoreLogStore::ReadFrom(

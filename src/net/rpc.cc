@@ -66,7 +66,8 @@ Duration RpcTransport::SchedJitter() {
 
 std::vector<Status> RpcTransport::CallScatter(
     sim::SimNode* client, const std::vector<ScatterCall>& calls,
-    std::vector<std::string>* responses, int required_acks) {
+    std::vector<std::string>* responses, int required_acks,
+    const RpcCallOptions& opts) {
   const size_t n = calls.size();
   std::vector<Status> statuses(n, Status::OK());
   if (responses != nullptr) responses->assign(n, "");
@@ -146,6 +147,22 @@ std::vector<Status> RpcTransport::CallScatter(
     RecordCall(calls[i].service, completions[i] - begin);
   }
 
+  // Deadline: the caller stops waiting at `opts.deadline`. Any call whose
+  // completion lands past it is reported TimedOut and its response dropped
+  // (the server-side work still happened; see RpcCallOptions).
+  if (opts.deadline != 0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (completions[i] > opts.deadline) {
+        if (statuses[i].ok()) {
+          statuses[i] = Status::TimedOut("rpc deadline exceeded on " +
+                                         calls[i].service);
+          if (responses != nullptr) (*responses)[i].clear();
+        }
+        completions[i] = opts.deadline;
+      }
+    }
+  }
+
   // Wait for the k-th success (or for everything if not enough succeeded).
   std::vector<Timestamp> ok_times;
   Timestamp latest = t0;
@@ -177,7 +194,7 @@ std::vector<Status> RpcTransport::CallParallel(
 
 Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
                           const std::string& service, Slice request,
-                          std::string* response) {
+                          std::string* response, const RpcCallOptions& opts) {
   VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("rpc.call"));
 
   const Timestamp begin = env_->clock()->Now();
@@ -185,8 +202,15 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
   span.AddTag("service", service);
   span.AddTag("server", server->name());
 
+  if (opts.deadline != 0 && begin >= opts.deadline) {
+    return Status::TimedOut("rpc deadline already expired for " + service);
+  }
+
   if (!server->alive()) {
-    env_->clock()->SleepFor(options_.timeout_latency);
+    // A dead target burns the kernel timeout, but never past the deadline.
+    Timestamp wake = begin + options_.timeout_latency;
+    if (opts.deadline != 0 && opts.deadline < wake) wake = opts.deadline;
+    env_->clock()->SleepUntil(wake);
     return Status::Unavailable("rpc target " + server->name() + " is down");
   }
 
@@ -222,6 +246,14 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
   t = server->nic()->SubmitAt(t, wire_request.size());
   t = server->cpu()->SubmitAt(t, 0,
                               server->config().rpc_dispatch_cost + sched_delay);
+  if (opts.deadline != 0 && t > opts.deadline) {
+    // The caller gives up before the handler would even be dispatched, so
+    // the handler never runs (no server-side effects for this case).
+    env_->clock()->SleepUntil(opts.deadline);
+    RecordCall(service, env_->clock()->Now() - begin);
+    return Status::TimedOut("rpc deadline exceeded before dispatch of " +
+                            service);
+  }
   env_->clock()->SleepUntil(t);
 
   // Handler executes "on the server": it charges whatever devices it uses.
@@ -242,6 +274,14 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
   r = server->nic()->SubmitAt(r, resp.size());
   r += options_.wire_latency;
   r = client->nic()->SubmitAt(r, resp.size());
+  if (opts.deadline != 0 && r > opts.deadline) {
+    // Handler already ran — its side effects stand — but the caller stops
+    // waiting at the deadline and the response is dropped.
+    env_->clock()->SleepUntil(opts.deadline);
+    RecordCall(service, env_->clock()->Now() - begin);
+    return Status::TimedOut("rpc deadline exceeded awaiting response of " +
+                            service);
+  }
   env_->clock()->SleepUntil(r);
 
   RecordCall(service, env_->clock()->Now() - begin);

@@ -32,6 +32,16 @@ using RpcHandler = std::function<Status(Slice request, std::string* response)>;
 using TimedRpcHandler = std::function<Status(
     Slice request, std::string* response, Timestamp start, Timestamp* done)>;
 
+/// Per-call knobs. A deadline is the client giving up, not the server: the
+/// calling actor stops waiting at the deadline and the call reports
+/// TimedOut, but a handler that already started still runs to completion
+/// (its side effects happen; the response is discarded). Callers should
+/// therefore only put deadlines on idempotent or best-effort calls.
+struct RpcCallOptions {
+  /// Absolute virtual time after which the caller gives up. 0 = no deadline.
+  Timestamp deadline = 0;
+};
+
 /// Cluster-wide RPC plane. Thread safe.
 class RpcTransport {
  public:
@@ -66,10 +76,16 @@ class RpcTransport {
                             TimedRpcHandler handler);
 
   /// Performs a synchronous call from `client` to `server`. Blocks the
-  /// calling actor for the full round trip.
+  /// calling actor for the full round trip, or until `opts.deadline` (see
+  /// RpcCallOptions for the exact give-up semantics).
   Status Call(sim::SimNode* client, sim::SimNode* server,
               const std::string& service, Slice request,
-              std::string* response);
+              std::string* response, const RpcCallOptions& opts);
+  Status Call(sim::SimNode* client, sim::SimNode* server,
+              const std::string& service, Slice request,
+              std::string* response) {
+    return Call(client, server, service, request, response, RpcCallOptions{});
+  }
 
   /// One element of a scatter: an independent request to a timed service.
   struct ScatterCall {
@@ -81,11 +97,14 @@ class RpcTransport {
   /// Issues all `calls` in parallel and blocks until `required_acks` of them
   /// have completed (0 means all). Slower calls finish in the background.
   /// Statuses/responses are index aligned with `calls`. Dead servers report
-  /// Unavailable without delaying the quorum.
+  /// Unavailable without delaying the quorum. A deadline in `opts` caps the
+  /// wait: calls that would complete later report TimedOut and their
+  /// responses are dropped.
   std::vector<Status> CallScatter(sim::SimNode* client,
                                   const std::vector<ScatterCall>& calls,
                                   std::vector<std::string>* responses,
-                                  int required_acks = 0);
+                                  int required_acks = 0,
+                                  const RpcCallOptions& opts = {});
 
   /// Fans the same request out to `servers` in parallel; see CallScatter.
   std::vector<Status> CallParallel(sim::SimNode* client,

@@ -300,7 +300,12 @@ Status PageStoreCluster::ReadPage(sim::SimNode* client, PageKey key,
     std::string resp;
     const std::string service =
         "ps.read_page." + std::to_string(s) + "." + std::to_string(r);
-    last = rpc_->Call(client, node, service, Slice(req), &resp);
+    net::RpcCallOptions call_opts;
+    if (options_.read_attempt_deadline != 0) {
+      call_opts.deadline =
+          env_->clock()->Now() + options_.read_attempt_deadline;
+    }
+    last = rpc_->Call(client, node, service, Slice(req), &resp, call_opts);
     if (last.ok()) {
       if (resp.size() < 8) return Status::Corruption("bad page response");
       if (image_lsn != nullptr) *image_lsn = DecodeFixed64(resp.data());

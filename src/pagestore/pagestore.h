@@ -68,6 +68,11 @@ class PageStoreCluster {
     Duration apply_cpu_per_record = 2 * kMicrosecond;
     /// Page size used to charge read I/O.
     uint64_t page_size = 16 * kKiB;
+    /// Per-replica attempt deadline for ReadPage RPCs (0 = none). Bounds
+    /// how long a slow replica can hold up the read before the failover
+    /// loop moves to the next copy; the reads are idempotent, so the
+    /// give-up-and-drop-response semantics of RpcCallOptions are safe.
+    Duration read_attempt_deadline = 0;
   };
 
   PageStoreCluster(sim::SimEnvironment* env, net::RpcTransport* rpc,

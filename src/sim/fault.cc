@@ -3,12 +3,13 @@
 namespace vedb::sim {
 
 void FaultInjector::Arm(const std::string& site, double probability,
-                        Status failure, int remaining) {
+                        Status failure, int remaining, int skip) {
   std::lock_guard<std::mutex> lk(mu_);
   Rule& rule = rules_[site];
   rule.probability = probability;
   rule.failure = std::move(failure);
   rule.remaining = remaining;
+  rule.skip = skip;
 }
 
 void FaultInjector::Disarm(const std::string& site) {
@@ -21,6 +22,10 @@ Status FaultInjector::MaybeFail(const std::string& site) {
   auto it = rules_.find(site);
   if (it == rules_.end()) return Status::OK();
   Rule& rule = it->second;
+  if (rule.skip > 0) {
+    rule.skip--;
+    return Status::OK();
+  }
   if (rule.remaining == 0) return Status::OK();
   if (!rng_.Bernoulli(rule.probability)) return Status::OK();
   if (rule.remaining > 0) rule.remaining--;

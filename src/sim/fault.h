@@ -20,10 +20,12 @@ class FaultInjector {
   explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
 
   /// Arms `site` to fail with the given probability per call. `remaining`
-  /// bounds the number of injected failures (< 0 means unlimited).
+  /// bounds the number of injected failures (< 0 means unlimited). `skip`
+  /// lets the first `skip` calls through untouched before the rule applies,
+  /// so tests can fail "the k-th call" deterministically with probability 1.
   void Arm(const std::string& site, double probability,
            Status failure = Status::IOError("injected fault"),
-           int remaining = -1);
+           int remaining = -1, int skip = 0);
 
   /// Disarms a site.
   void Disarm(const std::string& site);
@@ -39,6 +41,7 @@ class FaultInjector {
     double probability = 0.0;
     Status failure;
     int remaining = -1;
+    int skip = 0;
     uint64_t injected = 0;
   };
 

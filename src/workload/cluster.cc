@@ -4,6 +4,20 @@
 
 namespace vedb::workload {
 
+namespace {
+
+// The EBP is a cache: a page its client cannot reach quickly is simply a
+// miss served from the PageStore, so the EBP's SDK client fails fast
+// instead of spending the log client's full recovery budget per access.
+astore::AStoreClient::Options EbpClientOptions(
+    astore::AStoreClient::Options base) {
+  base.retry.max_attempts = 2;
+  base.retry.op_deadline = 5 * kMillisecond;
+  return base;
+}
+
+}  // namespace
+
 VedbCluster::VedbCluster(const ClusterOptions& options)
     : options_(options), env_(options.seed) {
   rpc_ = std::make_unique<net::RpcTransport>(&env_);
@@ -90,7 +104,7 @@ void VedbCluster::BuildEngine() {
   if (options_.enable_ebp) {
     ebp_astore_client_ = std::make_unique<astore::AStoreClient>(
         &env_, rpc_.get(), fabric_.get(), cm_node_, engine_node_,
-        /*client_id=*/2, options_.astore_client);
+        /*client_id=*/2, EbpClientOptions(options_.astore_client));
     VEDB_CHECK(ebp_astore_client_->Connect().ok(), "ebp connect failed");
     ebp_ = std::make_unique<ebp::ExtendedBufferPool>(
         &env_, ebp_astore_client_.get(), options_.ebp);
@@ -181,7 +195,7 @@ Status VedbCluster::CrashAndRecoverEngine(
   if (options_.enable_ebp) {
     ebp_astore_client_ = std::make_unique<astore::AStoreClient>(
         &env_, rpc_.get(), fabric_.get(), cm_node_, engine_node_, 2,
-        options_.astore_client);
+        EbpClientOptions(options_.astore_client));
     VEDB_RETURN_IF_ERROR(ebp_astore_client_->Connect());
     ebp_ = std::make_unique<ebp::ExtendedBufferPool>(
         &env_, ebp_astore_client_.get(), options_.ebp);

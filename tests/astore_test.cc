@@ -167,6 +167,86 @@ TEST_F(AStoreTest, ReadFailsOverToLiveReplica) {
   }
 }
 
+TEST_F(AStoreTest, ReadFailsOverPastFaultedReplica) {
+  // Regression: a fabric-read failure on a live replica used to surface to
+  // the caller instead of failing over to the next copy. Retry is disabled
+  // so the fix is exercised within a single attempt.
+  AStoreClient::Options opts;
+  opts.retry.enabled = false;
+  auto client = std::make_unique<AStoreClient>(&env_, rpc_.get(),
+                                               fabric_.get(), cm_node_,
+                                               client_node_, /*client_id=*/1,
+                                               opts);
+  ASSERT_TRUE(client->Connect().ok());
+  auto res = client->CreateSegment(256 * kKiB, 3);
+  ASSERT_TRUE(res.ok());
+  SegmentHandlePtr seg = res.value();
+  ASSERT_TRUE(client->Append(seg, Slice("failover"), nullptr).ok());
+
+  env_.faults()->Arm("astore.client.read.replica", 1.0,
+                     Status::IOError("injected replica fault"),
+                     /*remaining=*/1);
+  char buf[8];
+  ASSERT_TRUE(client->Read(seg, 0, 8, buf).ok());
+  EXPECT_EQ(std::string(buf, 8), "failover");
+  EXPECT_EQ(env_.faults()->InjectedCount("astore.client.read.replica"), 1u);
+  env_.faults()->Disarm("astore.client.read.replica");
+}
+
+TEST_F(AStoreTest, BoundsChecksRejectU64Overflow) {
+  auto res = client_->CreateSegment(256 * kKiB, 3);
+  ASSERT_TRUE(res.ok());
+  SegmentHandlePtr seg = res.value();
+  ASSERT_TRUE(client_->Append(seg, Slice("base"), nullptr).ok());
+
+  // `offset + len` wraps to a tiny value here; the additive form of the
+  // bounds check accepted these and handed a wild offset to the fabric.
+  const uint64_t wrap_offset = UINT64_MAX - 2;
+  char buf[8];
+  EXPECT_TRUE(client_->Read(seg, wrap_offset, 8, buf).IsInvalidArgument());
+  EXPECT_TRUE(client_->Read(seg, 0, UINT64_MAX, buf).IsInvalidArgument());
+  EXPECT_TRUE(
+      client_->WriteAt(seg, wrap_offset, Slice("overflow"))
+          .IsInvalidArgument());
+  // In-range operations still work after the rejections.
+  ASSERT_TRUE(client_->Read(seg, 0, 4, buf).ok());
+  EXPECT_EQ(std::string(buf, 4), "base");
+}
+
+TEST_F(AStoreTest, CreateSegmentReleasesPartialAllocationsOnFailure) {
+  std::vector<uint64_t> free_before;
+  for (auto& s : servers_) free_before.push_back(s->FreeCapacity());
+
+  // Let the first astore.alloc succeed, fail the second: the create must
+  // hand back the first replica's space instead of leaking it (no route
+  // ever exists for the segment, so nothing else would ever release it).
+  env_.faults()->Arm("rpc.call", 1.0, Status::IOError("injected alloc fault"),
+                     /*remaining=*/1, /*skip=*/1);
+  auto res = cm_->CreateSegment(client_node_, /*client=*/1, 1 * kMiB, 3);
+  EXPECT_FALSE(res.ok());
+  env_.faults()->Disarm("rpc.call");
+
+  for (auto& s : servers_) s->ForceClean();  // releases are deferred
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    EXPECT_EQ(servers_[i]->FreeCapacity(), free_before[i]);
+  }
+}
+
+TEST_F(AStoreTest, ExpiredLeasesArePrunedByHealthSweep) {
+  // One lease per client id would otherwise accumulate forever.
+  for (ClientId id = 100; id < 140; ++id) {
+    (void)cm_->AcquireLease(id);  // discard-ok: expiry value unused
+  }
+  const size_t before = cm_->LeaseCount();
+  ASSERT_GE(before, 40u);
+  cm_->CheckHealthNow();
+  EXPECT_EQ(cm_->LeaseCount(), before);  // nothing expired yet
+
+  env_.clock()->SleepFor(3 * kSecond);  // past lease_duration (2s)
+  cm_->CheckHealthNow();
+  EXPECT_EQ(cm_->LeaseCount(), 0u);
+}
+
 TEST_F(AStoreTest, ExpiredLeaseFencesWrites) {
   auto res = client_->CreateSegment(256 * kKiB, 3);
   ASSERT_TRUE(res.ok());

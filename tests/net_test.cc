@@ -245,6 +245,78 @@ TEST_F(NetTest, CallParallelToleratesDeadReplica) {
   EXPECT_TRUE(statuses[2].ok());
 }
 
+TEST_F(NetTest, CallDeadlineCapsDeadServerWait) {
+  RpcTransport rpc(&env_);
+  server_->SetAlive(false);
+  const Timestamp deadline = env_.clock()->Now() + 200 * kMicrosecond;
+  RpcCallOptions opts;
+  opts.deadline = deadline;
+  std::string resp;
+  Status s = rpc.Call(client_, server_, "echo", Slice(""), &resp, opts);
+  EXPECT_TRUE(s.IsUnavailable());
+  // Without the deadline the dead-target path burns the full 1ms timeout;
+  // the caller must get control back at the deadline instead.
+  EXPECT_EQ(env_.clock()->Now(), deadline);
+}
+
+TEST_F(NetTest, CallDeadlineTimesOutSlowHandler) {
+  RpcTransport rpc(&env_);
+  rpc.RegisterService(server_, "slow", [this](Slice, std::string* resp) {
+    server_->cpu()->Access(0, 500 * kMicrosecond);
+    *resp = "late";
+    return Status::OK();
+  });
+  const Timestamp deadline = env_.clock()->Now() + 100 * kMicrosecond;
+  RpcCallOptions opts;
+  opts.deadline = deadline;
+  std::string resp;
+  Status s = rpc.Call(client_, server_, "slow", Slice(""), &resp, opts);
+  EXPECT_TRUE(s.IsTimedOut());
+  // The handler runs synchronously on the caller's actor, so its work has
+  // already carried virtual time past the deadline; the give-up applies to
+  // the response wait and the delivered result, not the handler itself.
+  EXPECT_GE(env_.clock()->Now(), deadline);
+  EXPECT_TRUE(resp.empty());  // past-deadline responses are dropped
+
+  // Without a deadline the same call completes and delivers its response.
+  ASSERT_TRUE(rpc.Call(client_, server_, "slow", Slice(""), &resp).ok());
+  EXPECT_EQ(resp, "late");
+}
+
+TEST_F(NetTest, CallScatterDeadlineDropsSlowCalls) {
+  RpcTransport rpc(&env_);
+  rpc.RegisterTimedService(
+      server_, "slow",
+      [](Slice, std::string* resp, Timestamp start, Timestamp* done) {
+        *done = start + 1 * kMillisecond;
+        *resp = "late";
+        return Status::OK();
+      });
+  std::vector<RpcTransport::ScatterCall> calls;
+  calls.push_back({server_, "slow", "req"});
+  RpcCallOptions opts;
+  opts.deadline = env_.clock()->Now() + 100 * kMicrosecond;
+  std::vector<std::string> resps;
+  auto statuses = rpc.CallScatter(client_, calls, &resps, 0, opts);
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].IsTimedOut());
+  EXPECT_TRUE(resps[0].empty());
+  EXPECT_LE(env_.clock()->Now(), opts.deadline);
+}
+
+TEST_F(NetTest, FaultInjectionSkipDefersInjection) {
+  pmem::PmemDevice pmem(1 << 16, false);
+  RdmaFabric fabric(&env_);
+  MemoryRegionId mr = fabric.RegisterMemory(server_, &pmem);
+  // Fail exactly the third post: skip two, then inject once.
+  env_.faults()->Arm("rdma.post", 1.0, Status::IOError("nic fault"),
+                     /*remaining=*/1, /*skip=*/2);
+  EXPECT_TRUE(fabric.Write(client_, mr, 0, Slice("x")).ok());
+  EXPECT_TRUE(fabric.Write(client_, mr, 0, Slice("x")).ok());
+  EXPECT_TRUE(fabric.Write(client_, mr, 0, Slice("x")).IsIOError());
+  EXPECT_TRUE(fabric.Write(client_, mr, 0, Slice("x")).ok());
+}
+
 TEST_F(NetTest, FaultInjectionOnRdmaPost) {
   pmem::PmemDevice pmem(1 << 16, false);
   RdmaFabric fabric(&env_);
