@@ -20,6 +20,13 @@
 #      [[nodiscard]] on Status/Result plus -Werror in CI; this half makes
 #      sure every explicit discard says why.)
 #
+#   4. naked-thread: std::thread / pthread_* are banned outside src/sim.
+#      All concurrency must go through the sim runtime (ActorGroup,
+#      VirtualCondition, vedb::Mutex) so the deterministic scheduler, the
+#      race detector, and the lock-order graph see every thread and lock.
+#      A deliberate exception is waived with a `// thread-ok` comment on
+#      the same line.
+#
 # In addition, if clang-tidy is on PATH, it is run over src/ with the
 # repo's .clang-tidy config. Containers without clang-tidy (like the CI
 # sanitizer image) still get rules 1-3.
@@ -100,6 +107,21 @@ check_status_discard() {
   fi
 }
 
+# --- Rule 4: no naked threads outside the sim runtime -----------------------
+check_naked_threads() {
+  local -a dirs=("$@")
+  local hits
+  hits=$(grep -rnE '\bstd::thread\b|\bpthread_[a-z_]+[[:space:]]*\(' \
+              --include='*.cc' --include='*.h' "${dirs[@]}" 2>/dev/null |
+         grep -v 'thread-ok')
+  if [[ -n "$hits" ]]; then
+    fail "naked std::thread/pthread_* outside src/sim (spawn through the
+lint: sim runtime so the scheduler and detectors see it, or waive a
+lint: deliberate use with '// thread-ok'):"
+    printf '%s\n' "$hits" >&2
+  fi
+}
+
 # --- clang-tidy (optional: skipped when the toolchain lacks it) -------------
 run_clang_tidy() {
   if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -135,15 +157,20 @@ self_test() {
   check_status_discard "$fx/discard"
   [[ $FAILED -eq 1 ]] || { echo "self-test: rule 3 did NOT trip" >&2; st=1; }
 
+  FAILED=0
+  check_naked_threads "$fx/threads"
+  [[ $FAILED -eq 1 ]] || { echo "self-test: rule 4 did NOT trip" >&2; st=1; }
+
   # And none of them may trip on the clean fixture.
   FAILED=0
   check_pmem_raw_write "$fx/clean"
   check_pmem_api_bypass "$fx/clean"
   check_status_discard "$fx/clean"
+  check_naked_threads "$fx/clean"
   [[ $FAILED -eq 0 ]] || { echo "self-test: false positive on clean fixture" >&2; st=1; }
 
   if [[ $st -eq 0 ]]; then
-    echo "lint self-test: OK (3 rules trip on fixtures, clean file passes)"
+    echo "lint self-test: OK (4 rules trip on fixtures, clean file passes)"
   fi
   return $st
 }
@@ -156,6 +183,9 @@ fi
 check_pmem_raw_write src/astore src/net src/logstore src/ebp
 check_pmem_api_bypass src
 check_status_discard src tests bench examples
+check_naked_threads src/astore src/blob src/common src/ebp src/engine \
+                    src/logstore src/net src/obs src/pagestore src/pmem \
+                    src/query src/workload tests bench examples
 run_clang_tidy
 
 if [[ $FAILED -eq 0 ]]; then

@@ -6,6 +6,8 @@ struct Status {
 Status DoWork();
 
 int Clean() {
+  std::thread* waived = nullptr;  // thread-ok: fixture for the rule-4 waiver
+  (void)waived;
   int unused = 0;
   (void)unused;  // plain variable silencing: not a discarded call
   // discard-ok: best-effort call in a fixture.

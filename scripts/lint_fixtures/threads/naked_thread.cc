@@ -1,0 +1,8 @@
+// Fixture for lint rule 4 (naked-thread): spawning a raw std::thread
+// outside src/sim must trip the lint.
+#include <thread>
+
+void SpawnWorker() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -61,7 +61,7 @@ Duration AStoreClient::BackoffDelay(int attempt) {
   Duration base = rp.initial_backoff;
   for (int i = 1; i < attempt && base < rp.max_backoff; ++i) base *= 2;
   if (base > rp.max_backoff) base = rp.max_backoff;
-  std::lock_guard<std::mutex> lk(retry_mu_);
+  vedb::MutexLock lk(&retry_mu_);
   // Jitter in [base/2, base]: decorrelates clients without ever collapsing
   // the delay to zero.
   return base / 2 + static_cast<Duration>(retry_rng_.Uniform(
@@ -131,7 +131,7 @@ Result<SegmentHandlePtr> AStoreClient::CreateSegment(uint64_t size,
     return Status::Corruption("bad create response");
   }
   auto handle = std::make_shared<SegmentHandle>(std::move(route));
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   open_[handle->id()] = handle;
   return handle;
 }
@@ -147,7 +147,7 @@ Result<SegmentHandlePtr> AStoreClient::OpenSegment(SegmentId id) {
     return Status::Corruption("bad route response");
   }
   auto handle = std::make_shared<SegmentHandle>(std::move(route));
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   open_[handle->id()] = handle;
   return handle;
 }
@@ -158,7 +158,7 @@ Status AStoreClient::Append(const SegmentHandlePtr& handle, Slice data,
   {
     // Reserve the cursor under a short lock; the RDMA fan-out happens
     // outside it so concurrent appends overlap in virtual time.
-    std::lock_guard<std::mutex> lk(handle->mu_);
+    vedb::MutexLock lk(&handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");
     if (handle->frozen_) return Status::Unavailable("segment frozen");
     // Subtraction form: `write_offset_ + data.size()` wraps for sizes near
@@ -178,7 +178,7 @@ Status AStoreClient::Append(const SegmentHandlePtr& handle, Slice data,
 Status AStoreClient::WriteAt(const SegmentHandlePtr& handle, uint64_t offset,
                              Slice data) {
   {
-    std::lock_guard<std::mutex> lk(handle->mu_);
+    vedb::MutexLock lk(&handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");
     if (handle->frozen_) return Status::Unavailable("segment frozen");
     if (data.size() > handle->route_.size ||
@@ -216,7 +216,7 @@ Status AStoreClient::WriteWithRecovery(const SegmentHandlePtr& handle,
     // why it may also lift the freeze it caused.
     s = WriteInternal(handle, offset, data);
     if (s.ok()) {
-      std::lock_guard<std::mutex> lk(handle->mu_);
+      vedb::MutexLock lk(&handle->mu_);
       if (handle->frozen_ && !handle->stale_) {
         handle->frozen_ = false;
         unfreezes_->Add(1);
@@ -239,7 +239,7 @@ Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
   // let the recovery loop repair.
   Status injected = env_->faults()->MaybeFail("astore.client.write");
   if (!injected.ok()) {
-    std::lock_guard<std::mutex> lk(handle->mu_);
+    vedb::MutexLock lk(&handle->mu_);
     handle->frozen_ = true;
     handle->frozen_epoch_ = handle->route_.epoch;
     return injected;
@@ -288,7 +288,7 @@ Status AStoreClient::WriteInternal(const SegmentHandlePtr& handle,
     if (!s.ok()) {
       // "If any copy fails, it returns a failure to the application and
       // freezes the segment with the current effective length."
-      std::lock_guard<std::mutex> lk(handle->mu_);
+      vedb::MutexLock lk(&handle->mu_);
       handle->frozen_ = true;
       handle->frozen_epoch_ = handle->route_.epoch;
       return s;
@@ -350,7 +350,7 @@ Status AStoreClient::VerifyPersisted(const SegmentHandlePtr& handle,
 Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
                           uint64_t len, char* out) {
   {
-    std::lock_guard<std::mutex> lk(handle->mu_);
+    vedb::MutexLock lk(&handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");
     if (len > handle->route_.size || offset > handle->route_.size - len) {
       return Status::InvalidArgument("read past segment end");
@@ -419,12 +419,12 @@ Status AStoreClient::Delete(const SegmentHandlePtr& handle) {
   Status s = rpc_->Call(client_node_, cm_node_, "cm.delete_segment",
                         Slice(req), &resp);
   {
-    std::lock_guard<std::mutex> lk(handle->mu_);
+    vedb::MutexLock lk(&handle->mu_);
     handle->stale_ = true;
     handle->frozen_ = true;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     open_.erase(handle->id());
   }
   return s;
@@ -433,7 +433,7 @@ Status AStoreClient::Delete(const SegmentHandlePtr& handle) {
 void AStoreClient::RefreshRoutes() {
   std::vector<SegmentHandlePtr> handles;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     for (auto it = open_.begin(); it != open_.end();) {
       if (SegmentHandlePtr h = it->second.lock()) {
         handles.push_back(std::move(h));
@@ -463,7 +463,7 @@ Status AStoreClient::RefreshRoute(const SegmentHandlePtr& handle) {
                    opts);
   }
   route_refreshes_->Add(1);
-  std::lock_guard<std::mutex> lk(handle->mu_);
+  vedb::MutexLock lk(&handle->mu_);
   if (s.IsNotFound()) {
     // Deleted (possibly reclaimed): stop using it before the server's
     // cleaning deadline can hand the space to someone else.

@@ -14,13 +14,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "astore/segment.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "net/rdma.h"
 #include "net/rpc.h"
@@ -67,7 +67,7 @@ class SegmentHandle {
 
   /// Bytes appended so far (the write cursor).
   uint64_t write_offset() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     return write_offset_;
   }
 
@@ -75,33 +75,33 @@ class SegmentHandle {
   /// write failure (the paper freezes the segment with its effective
   /// length) or when the route disappears.
   bool frozen() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     return frozen_;
   }
 
   /// True when the CM no longer routes this segment (deleted/reclaimed).
   bool stale() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     return stale_;
   }
 
   SegmentRoute route() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     return route_;
   }
 
  private:
   friend class AStoreClient;
 
-  mutable std::mutex mu_;
-  SegmentRoute route_;
-  uint64_t write_offset_ = 0;
-  bool frozen_ = false;
-  bool stale_ = false;
+  mutable vedb::Mutex mu_{"astore.handle"};
+  SegmentRoute route_ GUARDED_BY(mu_);
+  uint64_t write_offset_ GUARDED_BY(mu_) = 0;
+  bool frozen_ GUARDED_BY(mu_) = false;
+  bool stale_ GUARDED_BY(mu_) = false;
   // Route epoch at the moment the handle was frozen. A refreshed route
   // whose epoch is beyond this means the CM rebuilt the replica set past
   // the failure, so the freeze no longer protects anything.
-  uint64_t frozen_epoch_ = 0;
+  uint64_t frozen_epoch_ GUARDED_BY(mu_) = 0;
 };
 
 using SegmentHandlePtr = std::shared_ptr<SegmentHandle>;
@@ -230,15 +230,15 @@ class AStoreClient {
   std::atomic<Timestamp> lease_expiry_{0};
   std::atomic<bool> shutdown_{false};
 
-  std::mutex mu_;
+  vedb::Mutex mu_{"astore.client"};
   // Open handles tracked for the background refresh, keyed by segment id.
-  std::map<SegmentId, std::weak_ptr<SegmentHandle>> open_;
+  std::map<SegmentId, std::weak_ptr<SegmentHandle>> open_ GUARDED_BY(mu_);
   std::atomic<uint64_t> read_rr_{0};  // round-robin replica cursor for reads
 
   // Retry jitter. Seeded from the client id, NOT the environment's seed
   // stream: arming retries must never shift unrelated downstream draws.
-  std::mutex retry_mu_;
-  Random retry_rng_;
+  vedb::Mutex retry_mu_{"astore.client.retry"};
+  Random retry_rng_ GUARDED_BY(retry_mu_);
 
   // Observability (resolved once at construction; see obs/metrics.h).
   obs::Counter* writes_ = nullptr;

@@ -15,7 +15,7 @@ ClusterManager::ClusterManager(sim::SimEnvironment* env,
 }
 
 void ClusterManager::RegisterServer(AStoreServer* server) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   servers_[server->node()->name()] = ServerInfo{server, false};
 }
 
@@ -36,7 +36,7 @@ void ClusterManager::CheckHealthNow() {
   std::vector<std::string> newly_dead;
   std::vector<AStoreServer*> returned;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     // Drop leases that expired: holders must re-acquire anyway, and
     // without pruning the map grows by one entry per client id forever.
     const Timestamp now = env_->clock()->Now();
@@ -70,7 +70,7 @@ void ClusterManager::CheckHealthNow() {
     std::vector<SegmentId> stale;
     std::vector<SegmentId> reattach;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      vedb::MutexLock lk(&mu_);
       for (const auto& [id, route] : routes_) {
         bool routed_here = false;
         for (const auto& loc : route.replicas) {
@@ -95,7 +95,7 @@ void ClusterManager::CheckHealthNow() {
     for (SegmentId id : reattach) {
       auto loc = server->LocationOf(id);
       if (!loc.ok()) continue;
-      std::lock_guard<std::mutex> lk(mu_);
+      vedb::MutexLock lk(&mu_);
       auto it = routes_.find(id);
       if (it == routes_.end() || !it->second.replicas.empty()) continue;
       it->second.replicas.push_back(*loc);
@@ -113,7 +113,7 @@ void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
   };
   std::vector<RebuildJob> jobs;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     for (auto& [id, route] : routes_) {
       auto it = std::find_if(
           route.replicas.begin(), route.replicas.end(),
@@ -130,7 +130,7 @@ void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
   for (const RebuildJob& job : jobs) {
     AStoreServer* target = nullptr;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      vedb::MutexLock lk(&mu_);
       // Exclude nodes already carrying a replica.
       std::vector<std::string> exclude;
       auto rit = routes_.find(job.id);
@@ -158,7 +158,7 @@ void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
     Slice in(resp);
     ReplicaLocation loc;
     if (!DecodeReplicaLocation(&in, &loc)) continue;
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     auto rit = routes_.find(job.id);
     if (rit == routes_.end()) continue;
     rit->second.replicas.push_back(loc);
@@ -167,14 +167,14 @@ void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
 }
 
 Timestamp ClusterManager::AcquireLease(ClientId client) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   Timestamp expiry = env_->clock()->Now() + options_.lease_duration;
   leases_[client] = expiry;
   return expiry;
 }
 
 bool ClusterManager::LeaseValid(ClientId client) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = leases_.find(client);
   return it != leases_.end() && it->second > env_->clock()->Now();
 }
@@ -215,7 +215,7 @@ Result<SegmentRoute> ClusterManager::CreateSegment(sim::SimNode* rpc_client,
   SegmentRoute route;
   std::vector<AStoreServer*> chosen;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     VEDB_ASSIGN_OR_RETURN(chosen, PickServersLocked(replication, {}));
     route.id = next_segment_id_++;
     route.size = size;
@@ -254,20 +254,20 @@ Result<SegmentRoute> ClusterManager::CreateSegment(sim::SimNode* rpc_client,
     }
     route.replicas.push_back(loc);
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   routes_[route.id] = route;
   return route;
 }
 
 Result<SegmentRoute> ClusterManager::GetRoute(SegmentId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = routes_.find(id);
   if (it == routes_.end()) return Status::NotFound("no such segment");
   return it->second;
 }
 
 Status ClusterManager::ReclaimSegment(SegmentId id, ClientId new_owner) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = routes_.find(id);
   if (it == routes_.end()) return Status::NotFound("no such segment");
   it->second.owner = new_owner;
@@ -279,7 +279,7 @@ Status ClusterManager::DeleteSegment(sim::SimNode* rpc_client, ClientId client,
                                      SegmentId id) {
   SegmentRoute route;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     auto it = routes_.find(id);
     if (it == routes_.end()) return Status::NotFound("no such segment");
     if (it->second.owner != client) {
@@ -302,7 +302,7 @@ Status ClusterManager::DeleteSegment(sim::SimNode* rpc_client, ClientId client,
 }
 
 std::vector<SegmentId> ClusterManager::ListSegments(ClientId client) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   std::vector<SegmentId> out;
   for (const auto& [id, route] : routes_) {
     if (route.owner == client) out.push_back(id);
@@ -311,7 +311,7 @@ std::vector<SegmentId> ClusterManager::ListSegments(ClientId client) const {
 }
 
 size_t ClusterManager::AliveServerCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   size_t n = 0;
   for (const auto& [name, info] : servers_) {
     if (!info.marked_dead && info.server->node()->alive()) n++;

@@ -10,13 +10,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "astore/segment.h"
 #include "astore/server.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "net/rpc.h"
 #include "sim/env.h"
@@ -88,7 +88,7 @@ class ClusterManager {
 
   /// Number of tracked (not yet pruned) client leases, expired included.
   size_t LeaseCount() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     return leases_.size();
   }
 
@@ -105,18 +105,21 @@ class ClusterManager {
   void HealthLoop();
   void RebuildSegmentsOf(const std::string& dead_node);
   Result<std::vector<AStoreServer*>> PickServersLocked(
-      int count, const std::vector<std::string>& exclude) const;
+      int count, const std::vector<std::string>& exclude) const REQUIRES(mu_);
 
   sim::SimEnvironment* env_;
   net::RpcTransport* rpc_;
   sim::SimNode* node_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, ServerInfo> servers_;
-  std::map<SegmentId, SegmentRoute> routes_;
-  std::map<ClientId, Timestamp> leases_;
-  SegmentId next_segment_id_ = 1;
+  // Lock order: cm.state is taken before astore.server and sim.node (the
+  // health sweep and placement read server/node state under the CM lock);
+  // nothing may call back into the CM while holding those.
+  mutable vedb::Mutex mu_{"cm.state"};
+  std::map<std::string, ServerInfo> servers_ GUARDED_BY(mu_);
+  std::map<SegmentId, SegmentRoute> routes_ GUARDED_BY(mu_);
+  std::map<ClientId, Timestamp> leases_ GUARDED_BY(mu_);
+  SegmentId next_segment_id_ GUARDED_BY(mu_) = 1;
 
   std::atomic<bool> shutdown_{false};
 };

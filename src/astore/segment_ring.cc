@@ -71,7 +71,7 @@ Result<std::unique_ptr<SegmentRing>> SegmentRing::Create(
 }
 
 std::vector<SegmentId> SegmentRing::segment_ids() const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&segments_, sizeof(segments_), /*is_write=*/false,
                     "SegmentRing::segment_ids");
   std::vector<SegmentId> ids;
@@ -90,7 +90,7 @@ Status SegmentRing::ReplaceSegmentSlot(size_t idx,
       client_->CreateSegment(options_.segment_size, options_.replication));
   VEDB_RETURN_IF_ERROR(
       client_->WriteAt(fresh, 0, EncodeHeader(SegmentStatus::kEmpty, 0)));
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&cur_offset_, sizeof(cur_offset_), /*is_write=*/true,
                     "SegmentRing::ReplaceSegmentSlot");
   sim::RaceAnnotate(&segments_, sizeof(segments_), /*is_write=*/true,
@@ -116,7 +116,7 @@ Result<SegmentRing::Reservation> SegmentRing::Reserve(uint64_t lsn,
   }
   Reservation r;
   r.frame_size = frame_size;
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   // The ring cursor (cur_idx_/cur_offset_/slot_start_lsn_) is the hot
   // shared state of the log write path; an unsynchronized reservation
   // would hand two records the same bytes.
@@ -184,7 +184,7 @@ Status SegmentRing::CommitReserved(const Reservation& reservation,
   bool found = false;
   size_t idx = 0;
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&segments_, sizeof(segments_), /*is_write=*/false,
                       "SegmentRing::CommitReserved");
     auto it = std::find(segments_.begin(), segments_.end(), seg);

@@ -13,13 +13,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "astore/client.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace vedb::astore {
 
@@ -106,7 +106,7 @@ class SegmentRing {
 
   /// Number of segment-replacement events (frozen segments swapped out).
   uint64_t replaced_count() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     return replaced_;
   }
 
@@ -131,13 +131,14 @@ class SegmentRing {
   AStoreClient* client_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::vector<SegmentHandlePtr> segments_;
-  std::vector<uint64_t> slot_start_lsn_;
-  size_t cur_idx_ = 0;
-  uint64_t cur_offset_ = kHeaderSize;
-  bool cur_initialized_ = false;  // header written for current segment
-  uint64_t replaced_ = 0;
+  mutable vedb::Mutex mu_{"astore.ring"};
+  std::vector<SegmentHandlePtr> segments_ GUARDED_BY(mu_);
+  std::vector<uint64_t> slot_start_lsn_ GUARDED_BY(mu_);
+  size_t cur_idx_ GUARDED_BY(mu_) = 0;
+  uint64_t cur_offset_ GUARDED_BY(mu_) = kHeaderSize;
+  // Header written for current segment.
+  bool cur_initialized_ GUARDED_BY(mu_) = false;
+  uint64_t replaced_ GUARDED_BY(mu_) = 0;
 
   // Observability (resolved once at construction; see obs/metrics.h).
   obs::Counter* appends_ = nullptr;

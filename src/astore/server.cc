@@ -56,7 +56,7 @@ void AStoreServer::StartBackground(sim::ActorGroup* group) {
 void AStoreServer::BackgroundLoop() {
   while (!shutdown_.load()) {
     env_->clock()->SleepFor(options_.background_period);
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     CleanExpiredLocked(env_->clock()->Now());
   }
 }
@@ -83,7 +83,7 @@ void AStoreServer::CleanExpiredLocked(Timestamp now) {
 }
 
 uint64_t AStoreServer::FreeCapacity() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   uint64_t free_extents = 0;
   for (bool used : extent_used_) {
     if (!used) free_extents++;
@@ -92,7 +92,7 @@ uint64_t AStoreServer::FreeCapacity() const {
 }
 
 size_t AStoreServer::LiveSegmentCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   size_t n = 0;
   for (const auto& [id, seg] : segments_) {
     if (!seg.pending_clean) n++;
@@ -101,14 +101,14 @@ size_t AStoreServer::LiveSegmentCount() const {
 }
 
 bool AStoreServer::HasSegment(SegmentId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = segments_.find(id);
   return it != segments_.end() && !it->second.pending_clean;
 }
 
 Result<std::pair<uint64_t, uint64_t>> AStoreServer::GetLocalSegment(
     SegmentId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = segments_.find(id);
   if (it == segments_.end() || it->second.pending_clean) {
     return Status::NotFound("segment not on this server");
@@ -148,7 +148,7 @@ void AStoreServer::FreeExtentsLocked(uint64_t base, uint64_t bytes) {
 Result<ReplicaLocation> AStoreServer::Allocate(SegmentId id, uint64_t size) {
   VEDB_RETURN_IF_ERROR(
       env_->faults()->MaybeFail("astore.alloc." + node_->name()));
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   if (segments_.count(id) != 0) {
     return Status::AlreadyExists("segment already on this server");
   }
@@ -191,7 +191,7 @@ Result<ReplicaLocation> AStoreServer::Allocate(SegmentId id, uint64_t size) {
 }
 
 Status AStoreServer::Release(SegmentId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = segments_.find(id);
   if (it == segments_.end()) return Status::NotFound("segment not here");
   if (it->second.pending_clean) return Status::OK();  // idempotent
@@ -206,7 +206,7 @@ Status AStoreServer::Release(SegmentId id) {
 }
 
 void AStoreServer::ForceClean() {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   for (auto it = segments_.begin(); it != segments_.end();) {
     if (it->second.pending_clean) {
       FreeExtentsLocked(it->second.base, it->second.size);
@@ -225,7 +225,7 @@ void AStoreServer::ForceClean() {
 }
 
 Result<ReplicaLocation> AStoreServer::LocationOf(SegmentId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = segments_.find(id);
   if (it == segments_.end() || it->second.pending_clean) {
     return Status::NotFound("segment not on this server");
@@ -242,7 +242,7 @@ Result<ReplicaLocation> AStoreServer::LocationOf(SegmentId id) const {
 }
 
 void AStoreServer::CrashProcess() {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   segments_.clear();
   std::fill(extent_used_.begin(), extent_used_.end(), false);
   next_io_meta_slot_ = 0;
@@ -253,7 +253,7 @@ Result<size_t> AStoreServer::RestartFromPmem() {
   // segment table + allocator. The scan is local PMem I/O.
   node_->storage()->Access(options_.max_segments *
                            ServerLayout::kIoMetaSlotSize);
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   segments_.clear();
   std::fill(extent_used_.begin(), extent_used_.end(), false);
   size_t recovered = 0;

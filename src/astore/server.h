@@ -15,13 +15,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "astore/segment.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/rdma.h"
 #include "net/rpc.h"
 #include "obs/metrics.h"
@@ -132,11 +132,11 @@ class AStoreServer {
   Status HandleRelease(Slice request, std::string* response);
   Status HandlePull(Slice request, std::string* response);
   void BackgroundLoop();
-  void CleanExpiredLocked(Timestamp now);
+  void CleanExpiredLocked(Timestamp now) REQUIRES(mu_);
 
   // Bitmap allocator over extents; first-fit contiguous run.
-  Result<uint64_t> AllocExtentsLocked(uint64_t bytes);
-  void FreeExtentsLocked(uint64_t base, uint64_t bytes);
+  Result<uint64_t> AllocExtentsLocked(uint64_t bytes) REQUIRES(mu_);
+  void FreeExtentsLocked(uint64_t base, uint64_t bytes) REQUIRES(mu_);
 
   sim::SimEnvironment* env_;
   net::RpcTransport* rpc_;
@@ -148,10 +148,13 @@ class AStoreServer {
   net::MemoryRegionId region_;
   uint64_t storage_base_ = 0;  // start of the extent-managed area
 
-  mutable std::mutex mu_;
-  std::vector<bool> extent_used_;
-  std::map<SegmentId, LocalSegment> segments_;
-  uint32_t next_io_meta_slot_ = 0;
+  // Lock order: astore.server is acquired under cm.state (the CM's health
+  // sweep and placement call the accessors above while holding its lock),
+  // so code under astore.server must never call into the CM.
+  mutable vedb::Mutex mu_{"astore.server"};
+  std::vector<bool> extent_used_ GUARDED_BY(mu_);
+  std::map<SegmentId, LocalSegment> segments_ GUARDED_BY(mu_);
+  uint32_t next_io_meta_slot_ GUARDED_BY(mu_) = 0;
 
   std::atomic<bool> shutdown_{false};
 

@@ -61,7 +61,7 @@ BlobStoreCluster::BlobStoreCluster(sim::SimEnvironment* env,
 Result<BlobId> BlobStoreCluster::CreateBlob(sim::SimNode* client) {
   VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("blob.create"));
   (void)client;
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   BlobId id = next_blob_id_++;
   Blob& blob = blobs_[id];
   for (int i = 0; i < options_.replication; ++i) {
@@ -86,7 +86,7 @@ Status BlobStoreCluster::HandleAppend(sim::SimNode* node, Slice request,
   }
   // The SSD persists the payload before acking.
   *done = node->storage()->SubmitAt(start, data.size());
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return Status::NotFound("no such blob");
   if (offset + data.size() > options_.blob_capacity) {
@@ -115,7 +115,7 @@ Status BlobStoreCluster::HandleRead(sim::SimNode* node, Slice request,
   // Charge the SSD read before touching state.
   node->storage()->Access(len);
 
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return Status::NotFound("no such blob");
   const std::string& content = it->second.data[node->name()];
@@ -131,7 +131,7 @@ Status BlobStoreCluster::Append(sim::SimNode* client, BlobId id, Slice data,
   std::vector<sim::SimNode*> replicas;
   uint64_t offset;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     auto it = blobs_.find(id);
     if (it == blobs_.end()) return Status::NotFound("no such blob");
     if (it->second.length + data.size() > options_.blob_capacity) {
@@ -157,7 +157,7 @@ Status BlobStoreCluster::Read(sim::SimNode* client, BlobId id, uint64_t offset,
                               uint64_t len, std::string* out) {
   sim::SimNode* target = nullptr;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     auto it = blobs_.find(id);
     if (it == blobs_.end()) return Status::NotFound("no such blob");
     for (sim::SimNode* node : it->second.replicas) {
@@ -174,7 +174,7 @@ Status BlobStoreCluster::Read(sim::SimNode* client, BlobId id, uint64_t offset,
 
 void BlobStoreCluster::Crash(uint64_t seed) {
   Random rng(seed);
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   for (auto& [id, blob] : blobs_) {
     if (blob.data.empty()) continue;
     // The agreed prefix: bytes present on every replica. An acked append
@@ -197,14 +197,14 @@ void BlobStoreCluster::Crash(uint64_t seed) {
 }
 
 std::vector<sim::SimNode*> BlobStoreCluster::ReplicasOf(BlobId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return {};
   return it->second.replicas;
 }
 
 Result<uint64_t> BlobStoreCluster::Length(BlobId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = blobs_.find(id);
   if (it == blobs_.end()) return Status::NotFound("no such blob");
   return it->second.length;
@@ -229,7 +229,7 @@ Status BlobGroup::Append(Slice data, uint64_t* offset_out) {
 
   uint64_t first_chunk;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     first_chunk = next_chunk_;
     next_chunk_ += nchunks;
   }
@@ -272,7 +272,7 @@ Status BlobGroup::Read(uint64_t offset, uint64_t len, std::string* out) {
   const uint64_t io = options_.io_size;
   uint64_t end;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     end = next_chunk_ * io;
   }
   if (offset + len > end) {

@@ -8,13 +8,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/rpc.h"
 #include "sim/env.h"
 
@@ -88,10 +88,11 @@ class BlobStoreCluster {
   std::vector<sim::SimNode*> data_nodes_;
   Options options_;
 
-  mutable std::mutex mu_;
-  std::map<BlobId, Blob> blobs_;
-  BlobId next_blob_id_ = 1;
-  size_t next_node_ = 0;  // round-robin placement cursor
+  mutable vedb::Mutex mu_{"blob.cluster"};
+  std::map<BlobId, Blob> blobs_ GUARDED_BY(mu_);
+  BlobId next_blob_id_ GUARDED_BY(mu_) = 1;
+  // round-robin placement cursor
+  size_t next_node_ GUARDED_BY(mu_) = 0;
 };
 
 /// BlobGroup: the storage SDK's logical container over several blobs
@@ -120,7 +121,10 @@ class BlobGroup {
   Status Read(uint64_t offset, uint64_t len, std::string* out);
 
   /// Logical stream length in bytes (chunk-granular).
-  uint64_t length() const { return next_chunk_ * options_.io_size; }
+  uint64_t length() const {
+    vedb::MutexLock lk(&mu_);
+    return next_chunk_ * options_.io_size;
+  }
 
  private:
   BlobGroup(BlobStoreCluster* cluster, sim::SimNode* client, Options options,
@@ -134,8 +138,8 @@ class BlobGroup {
   sim::SimNode* client_;
   Options options_;
   std::vector<BlobId> blobs_;
-  std::mutex mu_;
-  uint64_t next_chunk_ = 0;
+  mutable vedb::Mutex mu_{"blob.group"};
+  uint64_t next_chunk_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vedb::blob

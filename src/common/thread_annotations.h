@@ -1,0 +1,188 @@
+// Clang Thread Safety Analysis annotations plus the repo's annotated mutex.
+//
+// Static half: the macros below expand to Clang `thread_safety` attributes
+// under Clang and to nothing elsewhere, so the GCC build is unaffected while
+// a Clang build with -Wthread-safety (CMake option VEDB_THREAD_SAFETY)
+// proves lock discipline on *all* paths, executed or not:
+//
+//   vedb::Mutex mu_{"cm.state"};
+//   std::map<SegmentId, Route> routes_ GUARDED_BY(mu_);
+//   void RebalanceLocked() REQUIRES(mu_);
+//
+// Dynamic half: vedb::Mutex is also the sim runtime's instrumentation point.
+// Every Lock/Unlock dispatches (one relaxed atomic load when disabled)
+// through a process-global MutexObserver that src/sim installs to feed
+//   * the happens-before race detector (sim/race_detector.h), and
+//   * the lock-order graph (sim/lock_order.h), which detects lock-order
+//     inversions deterministically on the virtual clock.
+//
+// Rules of use (see DESIGN.md "Lock discipline"):
+//   * Shared mutable state in the database layers is guarded by vedb::Mutex
+//     and annotated GUARDED_BY; helpers that expect the lock held are named
+//     *Locked and annotated REQUIRES.
+//   * Scopes use MutexLock (never std::lock_guard on a vedb::Mutex — the
+//     guard cannot carry the scoped-capability annotation).
+//   * Code that genuinely cannot be annotated (the virtual-clock core, whose
+//     condition_variables require std::unique_lock<std::mutex>) keeps
+//     std::mutex and carries an explicit waiver comment.
+//
+// This header must stay dependency-free besides the standard library:
+// src/common cannot depend on src/sim, so the observer is a plain function
+// table behind an inline atomic slot.
+
+#ifndef VEDB_COMMON_THREAD_ANNOTATIONS_H_
+#define VEDB_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <atomic>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define VEDB_TSA_ATTR__(x) __attribute__((x))
+#else
+#define VEDB_TSA_ATTR__(x)  // GCC/MSVC: annotations vanish
+#endif
+
+#define CAPABILITY(x) VEDB_TSA_ATTR__(capability(x))
+#define SCOPED_CAPABILITY VEDB_TSA_ATTR__(scoped_lockable)
+#define GUARDED_BY(x) VEDB_TSA_ATTR__(guarded_by(x))
+#define PT_GUARDED_BY(x) VEDB_TSA_ATTR__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) VEDB_TSA_ATTR__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) VEDB_TSA_ATTR__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) VEDB_TSA_ATTR__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  VEDB_TSA_ATTR__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) VEDB_TSA_ATTR__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  VEDB_TSA_ATTR__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) VEDB_TSA_ATTR__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  VEDB_TSA_ATTR__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  VEDB_TSA_ATTR__(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) VEDB_TSA_ATTR__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  VEDB_TSA_ATTR__(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) VEDB_TSA_ATTR__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) VEDB_TSA_ATTR__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  VEDB_TSA_ATTR__(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) VEDB_TSA_ATTR__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS VEDB_TSA_ATTR__(no_thread_safety_analysis)
+
+namespace vedb {
+
+/// Instrumentation hooks for the annotated mutex. src/sim installs a table
+/// whose functions feed the race detector and the lock-order graph; when no
+/// table is installed (or the detectors are disabled) the cost per
+/// Lock/Unlock is a single relaxed atomic load.
+struct MutexObserver {
+  /// Called with the lock HELD, immediately after acquisition. `name` is the
+  /// lock class (constructor argument), `file`/`line` the acquisition site.
+  void (*on_acquire)(const void* mu, const char* name, const char* file,
+                     int line);
+  /// Called with the lock still held, immediately before release.
+  void (*on_release)(const void* mu, const char* name);
+};
+
+inline std::atomic<const MutexObserver*>& MutexObserverSlot() {
+  static std::atomic<const MutexObserver*> slot{nullptr};
+  return slot;
+}
+
+/// Installs (or clears, with nullptr) the process-global observer.
+inline void SetMutexObserver(const MutexObserver* observer) {
+  MutexObserverSlot().store(observer, std::memory_order_release);
+}
+
+/// The repo's annotated mutex: a std::mutex that (a) is a Clang capability,
+/// so GUARDED_BY/REQUIRES/ACQUIRE annotations type-check, and (b) reports
+/// every acquire/release to the installed MutexObserver.
+///
+/// The constructor names the *lock class* (e.g. "ebp.index", "cm.state").
+/// The lock-order graph merges all instances of a class into one node —
+/// pointer addresses are not stable across runs, class names are — exactly
+/// like Linux lockdep's lock classes.
+class CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex") : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) ACQUIRE() {
+    mu_.lock();
+    const MutexObserver* obs =
+        MutexObserverSlot().load(std::memory_order_acquire);
+    if (obs != nullptr) obs->on_acquire(this, name_, file, line);
+  }
+
+  bool TryLock(const char* file = __builtin_FILE(),
+               int line = __builtin_LINE()) TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    const MutexObserver* obs =
+        MutexObserverSlot().load(std::memory_order_acquire);
+    if (obs != nullptr) obs->on_acquire(this, name_, file, line);
+    return true;
+  }
+
+  void Unlock() RELEASE() {
+    // Observe before unlocking so the race detector's release edge is
+    // recorded while the lock is still held.
+    const MutexObserver* obs =
+        MutexObserverSlot().load(std::memory_order_acquire);
+    if (obs != nullptr) obs->on_release(this, name_);
+    mu_.unlock();
+  }
+
+  /// Static-analysis escape hatch: tells the analysis the lock is held on
+  /// paths it cannot follow (e.g. callbacks invoked under the lock).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+};
+
+/// RAII scope for vedb::Mutex, relockable in the style of
+/// absl::ReleasableMutexLock so condition-wait and drop-the-lock-for-I/O
+/// patterns stay annotated:
+///
+///   MutexLock lk(&mu_);
+///   ...
+///   lk.Unlock();     // e.g. issue an RPC without the lock
+///   ...
+///   lk.Lock();       // re-acquire before touching guarded state again
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) ACQUIRE(mu)
+      : mu_(mu), file_(file), line_(line) {
+    mu_->Lock(file_, line_);
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+  void Lock() ACQUIRE() {
+    mu_->Lock(file_, line_);
+    held_ = true;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_ = true;
+  const char* file_;
+  int line_;
+};
+
+}  // namespace vedb
+
+#endif  // VEDB_COMMON_THREAD_ANNOTATIONS_H_

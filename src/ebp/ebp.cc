@@ -48,7 +48,7 @@ EbpServerAgent::EbpServerAgent(sim::SimEnvironment* env,
 }
 
 uint64_t EbpServerAgent::ReportedLsn(PageKey key) const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&latest_lsn_, sizeof(latest_lsn_), /*is_write=*/false,
                     "EbpServerAgent::ReportedLsn");
   auto it = latest_lsn_.find(key);
@@ -62,7 +62,7 @@ Status EbpServerAgent::HandleReport(Slice request, std::string* response) {
   }
   const uint32_t count = DecodeFixed32(raw.data());
   server_->node()->cpu()->Access(0, 200 * count);  // ~0.2us per entry
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&latest_lsn_, sizeof(latest_lsn_), /*is_write=*/true,
                     "EbpServerAgent::HandleReport");
   for (uint32_t i = 0; i < count; ++i) {
@@ -117,7 +117,7 @@ Status EbpServerAgent::HandleScan(Slice request, std::string* response) {
       if (off + PageFrame::kHeaderSize + len > size) break;
       bool stale;
       {
-        sim::RaceScopedLock lk(mu_);
+        vedb::MutexLock lk(&mu_);
         sim::RaceAnnotate(&latest_lsn_, sizeof(latest_lsn_),
                           /*is_write=*/false, "EbpServerAgent::HandleScan");
         auto it = latest_lsn_.find(key);
@@ -176,7 +176,7 @@ ExtendedBufferPool::ExtendedBufferPool(sim::SimEnvironment* env,
 }
 
 ExtendedBufferPool::Stats ExtendedBufferPool::stats() const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
                     "ExtendedBufferPool::stats");
   Stats s = stats_;
@@ -185,14 +185,14 @@ ExtendedBufferPool::Stats ExtendedBufferPool::stats() const {
 }
 
 bool ExtendedBufferPool::Contains(PageKey key) const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
                     "ExtendedBufferPool::Contains");
   return index_.count(key) != 0;
 }
 
 bool ExtendedBufferPool::LookupPlacement(PageKey key, Placement* out) const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
                     "ExtendedBufferPool::LookupPlacement");
   auto it = index_.find(key);
@@ -269,7 +269,7 @@ void ExtendedBufferPool::EvictLocked(uint64_t needed) {
 Result<astore::SegmentHandlePtr> ExtendedBufferPool::ActiveSegmentFor(
     uint64_t bytes, uint64_t* offset) {
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                       "ExtendedBufferPool::ActiveSegmentFor");
     if (!segments_.empty()) {
@@ -287,7 +287,7 @@ Result<astore::SegmentHandlePtr> ExtendedBufferPool::ActiveSegmentFor(
   VEDB_ASSIGN_OR_RETURN(
       astore::SegmentHandlePtr handle,
       client_->CreateSegment(options_.segment_size, options_.replication));
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                     "ExtendedBufferPool::ActiveSegmentFor");
   segments_.push_back(SegmentState{handle, 0, 0, 0});
@@ -312,7 +312,7 @@ Status ExtendedBufferPool::PutPage(PageKey key, uint64_t lsn, Slice image,
   lru_locks_[shard]->Access(0);
 
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                       "ExtendedBufferPool::PutPage");
     // Replace any older version: its bytes become garbage.
@@ -350,7 +350,7 @@ Status ExtendedBufferPool::PutPage(PageKey key, uint64_t lsn, Slice image,
   Status s = client_->WriteAt(seg, offset, Slice(frame));
   if (!s.ok()) return s;  // cache write failure is benign; caller drops page
 
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                     "ExtendedBufferPool::PutPage/install");
   IndexEntry e;
@@ -379,7 +379,7 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
   uint32_t len = 0;
   const int shard = ShardOf(key);
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                       "ExtendedBufferPool::GetPage");
     auto it = index_.find(key);
@@ -404,7 +404,7 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
   if (!s.ok()) {
     // A dead AStore server only costs hit rate, never correctness.
     Erase(key);
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     stats_.misses++;
     misses_metric_->Add(1);
     return Status::NotFound("EBP replica unavailable");
@@ -415,21 +415,21 @@ Status ExtendedBufferPool::GetPage(PageKey key, std::string* image,
   if (!PageFrame::Parse(Slice(buf), &got_key, &got_lsn, &got_len) ||
       got_key != key || got_len != len) {
     Erase(key);
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     stats_.misses++;
     misses_metric_->Add(1);
     return Status::NotFound("EBP frame mismatch");
   }
   image->assign(buf.data() + PageFrame::kHeaderSize, len);
   if (lsn != nullptr) *lsn = got_lsn;
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   stats_.hits++;
   hits_metric_->Add(1);
   return Status::OK();
 }
 
 std::vector<PageKey> ExtendedBufferPool::HottestKeys(size_t limit) const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
                     "ExtendedBufferPool::HottestKeys");
   std::vector<PageKey> keys;
@@ -451,7 +451,7 @@ std::vector<PageKey> ExtendedBufferPool::HottestKeys(size_t limit) const {
 }
 
 void ExtendedBufferPool::Erase(PageKey key) {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                     "ExtendedBufferPool::Erase");
   auto it = index_.find(key);
@@ -472,7 +472,7 @@ void ExtendedBufferPool::Erase(PageKey key) {
 }
 
 void ExtendedBufferPool::NoteLatestLsn(PageKey key, uint64_t lsn) {
-  sim::RaceScopedLock lk(report_mu_);
+  vedb::MutexLock lk(&report_mu_);
   sim::RaceAnnotate(&pending_reports_, sizeof(pending_reports_),
                     /*is_write=*/true, "ExtendedBufferPool::NoteLatestLsn");
   uint64_t& cur = pending_reports_[key];
@@ -482,7 +482,7 @@ void ExtendedBufferPool::NoteLatestLsn(PageKey key, uint64_t lsn) {
 Status ExtendedBufferPool::FlushLsnReports() {
   std::unordered_map<PageKey, uint64_t> batch;
   {
-    sim::RaceScopedLock lk(report_mu_);
+    vedb::MutexLock lk(&report_mu_);
     sim::RaceAnnotate(&pending_reports_, sizeof(pending_reports_),
                       /*is_write=*/true,
                       "ExtendedBufferPool::FlushLsnReports");
@@ -500,7 +500,7 @@ Status ExtendedBufferPool::FlushLsnReports() {
   // Send to every node hosting one of our segments.
   std::set<std::string> nodes;
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     for (const auto& seg : segments_) {
       for (const auto& loc : seg.handle->route().replicas) {
         nodes.insert(loc.node);
@@ -576,7 +576,7 @@ Status ExtendedBufferPool::RecoverFromServers(
     if (it == newest.end() || e.lsn > it->second.lsn) newest[e.key] = e;
   }
 
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                     "ExtendedBufferPool::RecoverFromServers");
   index_.clear();
@@ -633,7 +633,7 @@ Status ExtendedBufferPool::ReattachSegments(
     if (it == newest.end() || e.lsn > it->second.lsn) newest[e.key] = e;
   }
 
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                     "ExtendedBufferPool::ReattachSegments");
   std::map<astore::SegmentId, size_t> seg_slot;
@@ -695,7 +695,7 @@ Status ExtendedBufferPool::CompactOnce() {
   astore::SegmentHandlePtr victim;
   std::vector<std::pair<PageKey, IndexEntry>> live;
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/false,
                       "ExtendedBufferPool::CompactOnce/select");
     double worst_ratio = options_.garbage_threshold;
@@ -730,7 +730,7 @@ Status ExtendedBufferPool::CompactOnce() {
       // Re-insert only if the entry is still current (not replaced since).
       bool still_current;
       {
-        sim::RaceScopedLock lk(mu_);
+        vedb::MutexLock lk(&mu_);
         auto it = index_.find(key);
         still_current = it != index_.end() && it->second.seg == victim &&
                         it->second.offset == e.offset;
@@ -747,7 +747,7 @@ Status ExtendedBufferPool::CompactOnce() {
     // "If compaction is not enabled, the segments with high amounts of
     // garbage will be released directly, releasing part of the valid pages
     // in the process."
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                       "ExtendedBufferPool::CompactOnce/drop");
     for (const auto& [key, e] : live) {
@@ -764,7 +764,7 @@ Status ExtendedBufferPool::CompactOnce() {
 
   // Release the victim segment cluster-wide.
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&index_, sizeof(index_), /*is_write=*/true,
                       "ExtendedBufferPool::CompactOnce/release");
     for (auto it = segments_.begin(); it != segments_.end(); ++it) {

@@ -24,7 +24,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +32,7 @@
 #include "astore/server.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "sim/env.h"
 
@@ -69,8 +69,8 @@ class EbpServerAgent {
 
   sim::SimEnvironment* env_;
   astore::AStoreServer* server_;
-  mutable std::mutex mu_;
-  std::unordered_map<PageKey, uint64_t> latest_lsn_;
+  mutable vedb::Mutex mu_{"ebp.agent"};
+  std::unordered_map<PageKey, uint64_t> latest_lsn_ GUARDED_BY(mu_);
 };
 
 class ExtendedBufferPool {
@@ -219,10 +219,11 @@ class ExtendedBufferPool {
 
   /// Evicts from LRU tails until at least `needed` bytes of headroom exist.
   /// Under the priority policy, lower classes are drained first.
-  void EvictLocked(uint64_t needed);
+  void EvictLocked(uint64_t needed) REQUIRES(mu_);
 
   /// Per-priority accounting check for the priority policy.
-  bool PriorityHasRoomLocked(int priority, uint64_t bytes) const;
+  bool PriorityHasRoomLocked(int priority, uint64_t bytes) const
+      REQUIRES(mu_);
 
   void BackgroundLoop();
 
@@ -235,16 +236,20 @@ class ExtendedBufferPool {
   std::unique_ptr<sim::QueueingDevice> index_lock_;
   std::vector<std::unique_ptr<sim::QueueingDevice>> lru_locks_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<PageKey, IndexEntry> index_;
-  std::vector<std::list<PageKey>> lru_;  // front = most recent
-  std::vector<SegmentState> segments_;
-  uint64_t live_bytes_ = 0;
-  uint64_t priority_bytes_[4] = {0, 0, 0, 0};
-  Stats stats_;
+  // Lock order: ebp.pool is taken before astore.handle (route()/placement
+  // reads under the pool lock); no AStore RPC or wait runs under it.
+  mutable vedb::Mutex mu_{"ebp.pool"};
+  std::unordered_map<PageKey, IndexEntry> index_ GUARDED_BY(mu_);
+  // front = most recent
+  std::vector<std::list<PageKey>> lru_ GUARDED_BY(mu_);
+  std::vector<SegmentState> segments_ GUARDED_BY(mu_);
+  uint64_t live_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t priority_bytes_[4] GUARDED_BY(mu_) = {0, 0, 0, 0};
+  Stats stats_ GUARDED_BY(mu_);
 
-  std::mutex report_mu_;
-  std::unordered_map<PageKey, uint64_t> pending_reports_;
+  vedb::Mutex report_mu_{"ebp.reports"};
+  std::unordered_map<PageKey, uint64_t> pending_reports_
+      GUARDED_BY(report_mu_);
 
   std::atomic<bool> shutdown_{false};
 

@@ -15,28 +15,28 @@ BufferPool::BufferPool(sim::SimEnvironment* env, sim::SimNode* node,
       load_cond_(env->clock(), "bp-load") {}
 
 BufferPool::Stats BufferPool::stats() const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/false,
                     "BufferPool::stats");
   return stats_;
 }
 
 size_t BufferPool::ResidentPages() const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/false,
                     "BufferPool::ResidentPages");
   return frames_.size();
 }
 
 bool BufferPool::IsResident(uint64_t key) const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/false,
                     "BufferPool::IsResident");
   auto it = frames_.find(key);
   return it != frames_.end() && !it->second->loading;
 }
 
-void BufferPool::EvictIfNeededLocked(std::unique_lock<std::mutex>& lk) {
+void BufferPool::EvictIfNeededLocked() {
   while (frames_.size() > options_.capacity_pages) {
     // Pick the least-recent unpinned page.
     Frame* victim = nullptr;
@@ -59,13 +59,12 @@ void BufferPool::EvictIfNeededLocked(std::unique_lock<std::mutex>& lk) {
 
     sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/true,
                       "BufferPool::EvictIfNeededLocked");
-    sim::RaceLockReleased(&mu_);
-    lk.unlock();
+    mu_.Unlock();
     uint64_t lsn;
     bool dirty;
     std::string image;
     {
-      std::lock_guard<std::mutex> flk(victim->mu);
+      vedb::MutexLock flk(&victim->mu);
       lsn = victim->lsn;
       dirty = victim->dirty;
       image = victim->image;
@@ -74,8 +73,7 @@ void BufferPool::EvictIfNeededLocked(std::unique_lock<std::mutex>& lk) {
     // reached the PageStore quorum, then cache the image in the EBP.
     if (dirty && callbacks_.ensure_shipped) callbacks_.ensure_shipped(lsn);
     if (callbacks_.ebp_put) callbacks_.ebp_put(key, lsn, Slice(image));
-    lk.lock();
-    sim::RaceLockAcquired(&mu_);
+    mu_.Lock();
 
     victim->pins--;
     if (victim->pins == 0) {
@@ -92,8 +90,7 @@ void BufferPool::EvictIfNeededLocked(std::unique_lock<std::mutex>& lk) {
 Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
   node_->cpu()->Access(0, options_.access_cpu_cost);
 
-  std::unique_lock<std::mutex> lk(mu_);
-  sim::RaceLockAcquired(&mu_);
+  vedb::MutexLock lk(&mu_);
   while (true) {
     sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/true,
                       "BufferPool::Pin");
@@ -102,7 +99,7 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
       std::shared_ptr<Frame> fp = it->second;  // keep alive across waits
       Frame* f = fp.get();
       if (f->loading) {
-        load_cond_.Wait(lk, [&fp] { return !fp->loading; });
+        load_cond_.Wait(&mu_, [&fp] { return !fp->loading; });
         continue;  // re-examine (load may have failed and erased the frame)
       }
       f->pins++;
@@ -122,10 +119,9 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
     f->loading = true;
     f->pins = 1;
     frames_[key] = std::move(frame);
-    EvictIfNeededLocked(lk);
+    EvictIfNeededLocked();
 
-    sim::RaceLockReleased(&mu_);
-    lk.unlock();
+    lk.Unlock();
     std::string image;
     uint64_t lsn = 0;
     Status s = Status::NotFound("no source");
@@ -144,19 +140,17 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
       created = true;
       s = Status::OK();
     }
-    lk.lock();
-    sim::RaceLockAcquired(&mu_);
+    lk.Lock();
 
     if (!s.ok()) {
       f->loading = false;  // before erase: waiters hold shared_ptr copies
       frames_.erase(key);
-      sim::RaceLockReleased(&mu_);
-      lk.unlock();
+      lk.Unlock();
       load_cond_.NotifyAll();
       return s;
     }
     {
-      std::lock_guard<std::mutex> flk(f->mu);
+      vedb::MutexLock flk(&f->mu);
       f->image = std::move(image);
       f->lsn = lsn;
     }
@@ -168,8 +162,7 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
     } else {
       stats_.pagestore_reads++;
     }
-    sim::RaceLockReleased(&mu_);
-    lk.unlock();
+    lk.Unlock();
     load_cond_.NotifyAll();
     return f;
   }
@@ -178,11 +171,11 @@ Result<Frame*> BufferPool::Pin(uint64_t key, bool create_if_missing) {
 void BufferPool::Unpin(Frame* frame, uint64_t modified_lsn) {
   bool notify = false;
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&frames_, sizeof(frames_), /*is_write=*/true,
                       "BufferPool::Unpin");
     if (modified_lsn != 0) {
-      std::lock_guard<std::mutex> flk(frame->mu);
+      vedb::MutexLock flk(&frame->mu);
       frame->dirty = true;
       if (modified_lsn > frame->lsn) frame->lsn = modified_lsn;
     }

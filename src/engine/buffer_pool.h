@@ -12,12 +12,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/types.h"
 #include "sim/env.h"
 
@@ -27,12 +27,13 @@ namespace vedb::engine {
 /// clock waits under it).
 struct Frame {
   uint64_t key = 0;
-  std::mutex mu;
-  std::string image;
-  uint64_t lsn = 0;
-  bool dirty = false;
+  vedb::Mutex mu{"bp.frame"};
+  std::string image GUARDED_BY(mu);
+  uint64_t lsn GUARDED_BY(mu) = 0;
+  bool dirty GUARDED_BY(mu) = false;
 
-  // Guarded by the pool's lock:
+  // Waiver(thread-annotations): guarded by the owning pool's lock, which a
+  // GUARDED_BY on a member of a different object cannot name.
   int pins = 0;
   bool loading = false;
   std::list<uint64_t>::iterator lru_it;
@@ -92,20 +93,25 @@ class BufferPool {
   bool IsResident(uint64_t key) const;
 
  private:
-  void EvictIfNeededLocked(std::unique_lock<std::mutex>& lk);
+  /// Drops the pool below capacity. Temporarily releases mu_ around the
+  /// ship fence and EBP hand-off, reacquiring before it returns.
+  void EvictIfNeededLocked() REQUIRES(mu_);
 
   sim::SimEnvironment* env_;
   sim::SimNode* node_;
   Options options_;
   Callbacks callbacks_;
 
-  mutable std::mutex mu_;
+  // Lock order: bp.pool is taken before bp.frame (Pin/Unpin touch frame
+  // content under the pool lock); never the reverse.
+  mutable vedb::Mutex mu_{"bp.pool"};
   sim::VirtualCondition load_cond_;
   // shared_ptr so that a waiter parked on a loading frame can keep the
   // object alive across a failed load that erases the map entry.
-  std::unordered_map<uint64_t, std::shared_ptr<Frame>> frames_;
-  std::list<uint64_t> lru_;  // front = most recent, unpinned pages only
-  Stats stats_;
+  std::unordered_map<uint64_t, std::shared_ptr<Frame>> frames_ GUARDED_BY(mu_);
+  // front = most recent, unpinned pages only
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace vedb::engine

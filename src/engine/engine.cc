@@ -42,7 +42,7 @@ DBEngine::DBEngine(sim::SimEnvironment* env, sim::SimNode* node,
 }
 
 Table* DBEngine::CreateTable(const std::string& name, const Schema& schema) {
-  std::lock_guard<std::mutex> lk(catalog_mu_);
+  vedb::MutexLock lk(&catalog_mu_);
   auto it = tables_.find(name);
   if (it != tables_.end()) return it->second.get();
   auto table = std::make_unique<Table>(this, name, next_space_++, schema);
@@ -52,7 +52,7 @@ Table* DBEngine::CreateTable(const std::string& name, const Schema& schema) {
 }
 
 Table* DBEngine::GetTable(const std::string& name) {
-  std::lock_guard<std::mutex> lk(catalog_mu_);
+  vedb::MutexLock lk(&catalog_mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -68,7 +68,7 @@ Result<Row> DBEngine::ReadRowAt(SpaceId space, const Rid& rid) {
   Row row;
   Status s;
   {
-    std::lock_guard<std::mutex> lk(frame->mu);
+    vedb::MutexLock lk(&frame->mu);
     Page page(&frame->image);
     Slice bytes;
     s = page.GetRow(rid.slot, &bytes);
@@ -85,7 +85,7 @@ void DBEngine::Abort(Txn* txn) {
   locks_.ReleaseAll(txn->id());
   txn->overlay_.clear();
   txn->touch_order_.clear();
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  vedb::MutexLock lk(&stats_mu_);
   stats_.aborts++;
 }
 
@@ -137,7 +137,7 @@ Status DBEngine::Commit(Txn* txn) {
     locks_.ReleaseAll(txn->id());
     txn->overlay_.clear();
     txn->touch_order_.clear();
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    vedb::MutexLock lk(&stats_mu_);
     stats_.commits++;
     return Status::OK();
   }
@@ -155,7 +155,7 @@ Status DBEngine::Commit(Txn* txn) {
   logstore::AppendHooks hooks;
   hooks.on_assigned = [&](uint64_t first, uint64_t last) {
     // Runs under the LSN lock: enqueue ship records in LSN order.
-    std::lock_guard<std::mutex> lk(ship_mu_);
+    vedb::MutexLock lk(&ship_mu_);
     for (size_t i = 0; i < writes.size(); ++i) {
       pagestore::RedoShipRecord rec;
       rec.page_key = writes[i].rec.page_key();
@@ -166,7 +166,7 @@ Status DBEngine::Commit(Txn* txn) {
     (void)last;
   };
   hooks.on_failed = [&](uint64_t first, uint64_t last) {
-    std::lock_guard<std::mutex> lk(ship_mu_);
+    vedb::MutexLock lk(&ship_mu_);
     for (uint64_t lsn = first; lsn <= last; ++lsn) {
       ship_queue_.erase(lsn);
       cancelled_lsns_.insert(lsn);
@@ -192,7 +192,7 @@ Status DBEngine::Commit(Txn* txn) {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lk((*frame)->mu);
+      vedb::MutexLock lk(&(*frame)->mu);
       ApplyRedoToPage(Slice(payloads[i]), lsn, &(*frame)->image);
     }
     bp_.Unpin(*frame, lsn);
@@ -216,7 +216,7 @@ Status DBEngine::Commit(Txn* txn) {
   txn->overlay_.clear();
   txn->touch_order_.clear();
   {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    vedb::MutexLock lk(&stats_mu_);
     stats_.commits++;
     stats_.rows_written += writes.size();
   }
@@ -252,7 +252,7 @@ Status DBEngine::ShipEligibleOnce() {
   std::vector<pagestore::RedoShipRecord> batch;
   uint64_t new_shipped_through;
   {
-    std::lock_guard<std::mutex> lk(ship_mu_);
+    vedb::MutexLock lk(&ship_mu_);
     const uint64_t durable = log_->DurableLsn();
     new_shipped_through = shipped_through_;
     while (new_shipped_through < durable &&
@@ -269,7 +269,7 @@ Status DBEngine::ShipEligibleOnce() {
     }
   }
   if (batch.empty()) {
-    std::lock_guard<std::mutex> lk(ship_mu_);
+    vedb::MutexLock lk(&ship_mu_);
     if (new_shipped_through > shipped_through_) {
       shipped_through_ = new_shipped_through;
     }
@@ -277,7 +277,7 @@ Status DBEngine::ShipEligibleOnce() {
   }
   Status s = pagestore_->ShipRecords(node_, batch);
   {
-    std::lock_guard<std::mutex> lk(ship_mu_);
+    vedb::MutexLock lk(&ship_mu_);
     if (s.ok()) {
       shipped_through_ = std::max(shipped_through_, new_shipped_through);
     } else {
@@ -306,14 +306,14 @@ void DBEngine::EnsureShipped(uint64_t lsn) {
   // still being logged by another transaction, poll briefly.
   while (true) {
     {
-      std::lock_guard<std::mutex> lk(ship_mu_);
+      vedb::MutexLock lk(&ship_mu_);
       if (shipped_through_ >= lsn) return;
     }
     // discard-ok: a failed ship attempt is retried on the next loop turn;
     // the fence below only passes once shipped_through_ advances.
     (void)ShipEligibleOnce();
     {
-      std::lock_guard<std::mutex> lk(ship_mu_);
+      vedb::MutexLock lk(&ship_mu_);
       if (shipped_through_ >= lsn) return;
     }
     env_->clock()->SleepFor(200 * kMicrosecond);
@@ -326,7 +326,7 @@ void DBEngine::ShipperLoop() {
     while (true) {
       bool more;
       {
-        std::lock_guard<std::mutex> lk(ship_mu_);
+        vedb::MutexLock lk(&ship_mu_);
         more = !ship_queue_.empty() &&
                ship_queue_.begin()->first <= log_->DurableLsn();
       }
@@ -351,7 +351,7 @@ void DBEngine::CheckpointLoop() {
 
 bool DBEngine::LookupPendingEbpPut(uint64_t key, std::string* image,
                                    uint64_t* lsn) {
-  std::lock_guard<std::mutex> lk(ebp_flush_mu_);
+  vedb::MutexLock lk(&ebp_flush_mu_);
   // Scan newest-first: the last enqueued version of the page wins.
   for (auto it = ebp_flush_queue_.rbegin(); it != ebp_flush_queue_.rend();
        ++it) {
@@ -367,7 +367,7 @@ bool DBEngine::LookupPendingEbpPut(uint64_t key, std::string* image,
 void DBEngine::EnqueueEbpPut(uint64_t key, uint64_t lsn, Slice image) {
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lk(ebp_flush_mu_);
+    vedb::MutexLock lk(&ebp_flush_mu_);
     if (!ebp_flusher_running_) {
       // No flusher (unit tests / read-only replicas without background):
       // fall through to a synchronous put below.
@@ -391,8 +391,8 @@ void DBEngine::EbpFlusherLoop() {
   while (true) {
     EbpFlushItem item;
     {
-      std::unique_lock<std::mutex> lk(ebp_flush_mu_);
-      ebp_flush_cond_->Wait(lk, [&] {
+      vedb::MutexLock lk(&ebp_flush_mu_);
+      ebp_flush_cond_->Wait(&ebp_flush_mu_, [&] {
         return !ebp_flush_queue_.empty() || ebp_flusher_stop_;
       });
       if (ebp_flush_queue_.empty()) {
@@ -410,7 +410,7 @@ void DBEngine::EbpFlusherLoop() {
 void DBEngine::StartBackground(sim::ActorGroup* group) {
   if (ebp_ != nullptr) {
     {
-      std::lock_guard<std::mutex> lk(ebp_flush_mu_);
+      vedb::MutexLock lk(&ebp_flush_mu_);
       ebp_flusher_running_ = true;
     }
     group->Spawn([this] { EbpFlusherLoop(); });
@@ -428,7 +428,7 @@ void DBEngine::Shutdown() {
   // abort with a spurious virtual-time deadlock (a non-actor caller's
   // pending NotifyAll is invisible to the clock).
   {
-    std::lock_guard<std::mutex> lk(ebp_flush_mu_);
+    vedb::MutexLock lk(&ebp_flush_mu_);
     ebp_flusher_stop_ = true;
   }
   ebp_flush_cond_->NotifyAll();
@@ -436,7 +436,7 @@ void DBEngine::Shutdown() {
 }
 
 DBEngine::Stats DBEngine::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  vedb::MutexLock lk(&stats_mu_);
   return stats_;
 }
 
@@ -457,18 +457,24 @@ Status DBEngine::Recover(const std::vector<astore::LogRecord>& tail_records) {
   if (!reship.empty()) {
     VEDB_RETURN_IF_ERROR(pagestore_->ShipRecords(node_, reship));
   }
+  // Read both watermarks BEFORE taking ship_mu_: NextLsn() takes the
+  // logstore's LSN lock, and AppendBatch's on_assigned hook takes ship_mu_
+  // under that same lock — the established order is logstore.astore before
+  // engine.ship, and inverting it here is a lock-order cycle (caught by
+  // the LockOrderGraph on the failure_drill example).
+  uint64_t resume_through = pagestore_->DurableLsn();
+  if (log_ != nullptr) {
+    resume_through = std::max(resume_through, log_->NextLsn() - 1);
+  }
   {
-    std::lock_guard<std::mutex> lk(ship_mu_);
-    shipped_through_ = std::max(shipped_through_, pagestore_->DurableLsn());
-    if (log_ != nullptr) {
-      shipped_through_ = std::max(shipped_through_, log_->NextLsn() - 1);
-    }
+    vedb::MutexLock lk(&ship_mu_);
+    shipped_through_ = std::max(shipped_through_, resume_through);
   }
 
   // Rebuild every table's in-memory indexes from storage.
   std::vector<Table*> tables;
   {
-    std::lock_guard<std::mutex> lk(catalog_mu_);
+    vedb::MutexLock lk(&catalog_mu_);
     for (auto& [name, table] : tables_) tables.push_back(table.get());
   }
   for (Table* table : tables) {

@@ -22,12 +22,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "ebp/ebp.h"
 #include "engine/buffer_pool.h"
 #include "engine/lock_manager.h"
@@ -171,11 +171,11 @@ class Table {
     std::map<std::string, std::set<std::string>> entries;  // seckey -> pks
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Rid> pk_index_;
-  std::map<std::string, SecIndex> sec_indexes_;
-  std::vector<PageMeta> pages_;
-  uint64_t row_count_ = 0;
+  mutable vedb::Mutex mu_{"engine.table"};
+  std::map<std::string, Rid> pk_index_ GUARDED_BY(mu_);
+  std::map<std::string, SecIndex> sec_indexes_ GUARDED_BY(mu_);
+  std::vector<PageMeta> pages_ GUARDED_BY(mu_);
+  uint64_t row_count_ GUARDED_BY(mu_) = 0;
 };
 
 class DBEngine {
@@ -278,33 +278,41 @@ class DBEngine {
   LockManager locks_;
   BufferPool bp_;
 
-  std::mutex catalog_mu_;
-  std::map<std::string, std::unique_ptr<Table>> tables_;
-  SpaceId next_space_ = 1;
+  vedb::Mutex catalog_mu_{"engine.catalog"};
+  std::map<std::string, std::unique_ptr<Table>> tables_
+      GUARDED_BY(catalog_mu_);
+  SpaceId next_space_ GUARDED_BY(catalog_mu_) = 1;
   std::atomic<TxnId> next_txn_{1};
 
   // Redo shipper state.
-  std::mutex ship_mu_;
-  std::map<uint64_t, pagestore::RedoShipRecord> ship_queue_;  // by lsn
-  std::set<uint64_t> cancelled_lsns_;
-  uint64_t shipped_through_ = 0;  // all lsns <= this left the queue
+  // Lock order: logstore.astore (the LSN lock) is taken before engine.ship
+  // — AppendBatch runs the on_assigned hook (which enqueues ship records
+  // under ship_mu_) while holding its LSN lock so the queue fills in LSN
+  // order. Never call back into the logstore while holding ship_mu_.
+  vedb::Mutex ship_mu_{"engine.ship"};
+  // by lsn
+  std::map<uint64_t, pagestore::RedoShipRecord> ship_queue_
+      GUARDED_BY(ship_mu_);
+  std::set<uint64_t> cancelled_lsns_ GUARDED_BY(ship_mu_);
+  // all lsns <= this left the queue
+  uint64_t shipped_through_ GUARDED_BY(ship_mu_) = 0;
 
   // Asynchronous EBP flusher: evicted images queue here; a background
   // actor performs the PutPage RDMA writes off the read path.
-  std::mutex ebp_flush_mu_;
+  vedb::Mutex ebp_flush_mu_{"engine.ebp_flush"};
   std::unique_ptr<sim::VirtualCondition> ebp_flush_cond_;
   struct EbpFlushItem {
     uint64_t key;
     uint64_t lsn;
     std::string image;
   };
-  std::deque<EbpFlushItem> ebp_flush_queue_;
-  bool ebp_flusher_running_ = false;
-  bool ebp_flusher_stop_ = false;
+  std::deque<EbpFlushItem> ebp_flush_queue_ GUARDED_BY(ebp_flush_mu_);
+  bool ebp_flusher_running_ GUARDED_BY(ebp_flush_mu_) = false;
+  bool ebp_flusher_stop_ GUARDED_BY(ebp_flush_mu_) = false;
   static constexpr size_t kEbpFlushQueueCap = 256;
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable vedb::Mutex stats_mu_{"engine.stats"};
+  Stats stats_ GUARDED_BY(stats_mu_);
 
   std::atomic<bool> shutdown_{false};
 };

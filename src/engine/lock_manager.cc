@@ -22,7 +22,7 @@ bool LockManager::WouldDeadlockLocked(TxnId waiter,
 Status LockManager::Lock(TxnId txn, SpaceId space, const std::string& key) {
   const LockKey lk{space, key};
   const Timestamp deadline = clock_->Now() + options_.wait_timeout;
-  std::unique_lock<std::mutex> lock(mu_);
+  vedb::MutexLock lock(&mu_);
   while (true) {
     auto it = held_.find(lk);
     if (it == held_.end()) {
@@ -39,7 +39,7 @@ Status LockManager::Lock(TxnId txn, SpaceId space, const std::string& key) {
     waiting_for_[txn] = lk;
     // Park until some lock is released or the deadline passes (the
     // deadline is a backstop for pathological queues).
-    const bool ok = cond_.WaitUntil(lock, deadline, [&] {
+    const bool ok = cond_.WaitUntil(&mu_, deadline, [&] {
       auto cur = held_.find(lk);
       return cur == held_.end() || cur->second == txn;
     });
@@ -50,7 +50,7 @@ Status LockManager::Lock(TxnId txn, SpaceId space, const std::string& key) {
 
 void LockManager::ReleaseAll(TxnId txn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    vedb::MutexLock lock(&mu_);
     auto it = by_txn_.find(txn);
     if (it == by_txn_.end()) return;
     for (const LockKey& lk : it->second) {
@@ -63,7 +63,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 }
 
 size_t LockManager::HeldCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  vedb::MutexLock lock(&mu_);
   return held_.size();
 }
 

@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/types.h"
 #include "sim/clock.h"
 
@@ -53,16 +53,18 @@ class LockManager {
   };
 
   /// True if making `waiter` wait for `key` would close a cycle in the
-  /// wait-for graph. Caller holds mu_.
-  bool WouldDeadlockLocked(TxnId waiter, const LockKey& key) const;
+  /// wait-for graph.
+  bool WouldDeadlockLocked(TxnId waiter, const LockKey& key) const
+      REQUIRES(mu_);
 
   sim::VirtualClock* clock_;
-  mutable std::mutex mu_;
+  mutable vedb::Mutex mu_{"engine.row_locks"};
   sim::VirtualCondition cond_;
   Options options_;
-  std::map<LockKey, TxnId> held_;
-  std::map<TxnId, std::vector<LockKey>> by_txn_;
-  std::map<TxnId, LockKey> waiting_for_;  // wait-for graph edges
+  std::map<LockKey, TxnId> held_ GUARDED_BY(mu_);
+  std::map<TxnId, std::vector<LockKey>> by_txn_ GUARDED_BY(mu_);
+  // wait-for graph edges
+  std::map<TxnId, LockKey> waiting_for_ GUARDED_BY(mu_);
 };
 
 }  // namespace vedb::engine

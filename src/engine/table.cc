@@ -16,7 +16,7 @@ Table::Table(DBEngine* engine, std::string name, SpaceId space, Schema schema)
 
 void Table::CreateIndex(const std::string& index_name,
                         std::vector<int> columns) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   SecIndex& idx = sec_indexes_[index_name];
   idx.columns = std::move(columns);
   idx.entries.clear();
@@ -32,7 +32,7 @@ std::string Table::SecKeyOf(const std::vector<int>& cols,
 }
 
 Rid Table::ReservePlacement(size_t row_bytes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   // Conservative reservation: slot entry plus slack for later in-place row
   // growth (varint counters widen as values grow).
   const uint32_t need =
@@ -54,7 +54,7 @@ Rid Table::ReservePlacement(size_t row_bytes) {
 }
 
 bool Table::LookupRid(const std::string& pk, Rid* rid) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = pk_index_.find(pk);
   if (it == pk_index_.end()) return false;
   *rid = it->second;
@@ -150,7 +150,7 @@ Status Table::ScanPkRange(const std::string& lo, const std::string& hi,
   // Snapshot the qualifying rids, then read outside the table lock.
   std::vector<Rid> rids;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     auto it = pk_index_.lower_bound(lo);
     auto end = hi.empty() ? pk_index_.end() : pk_index_.lower_bound(hi);
     for (; it != end; ++it) rids.push_back(it->second);
@@ -175,7 +175,7 @@ Result<std::vector<Row>> Table::IndexLookup(const std::string& index_name,
   engine_->node()->cpu()->Access(0, engine_->options().row_op_cpu);
   std::vector<std::string> pks;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     auto idx = sec_indexes_.find(index_name);
     if (idx == sec_indexes_.end()) {
       return Status::NotFound("no index " + index_name + " on " + name_);
@@ -198,7 +198,7 @@ Result<std::vector<Row>> Table::IndexLookup(const std::string& index_name,
 
 void Table::ApplyIndexInsert(const std::string& pk, const Rid& rid,
                              const Row& row) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   pk_index_[pk] = rid;
   row_count_++;
   for (auto& [name, idx] : sec_indexes_) {
@@ -207,7 +207,7 @@ void Table::ApplyIndexInsert(const std::string& pk, const Rid& rid,
 }
 
 void Table::ApplyIndexDelete(const std::string& pk, const Row& old_row) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   pk_index_.erase(pk);
   if (row_count_ > 0) row_count_--;
   for (auto& [name, idx] : sec_indexes_) {
@@ -221,7 +221,7 @@ void Table::ApplyIndexDelete(const std::string& pk, const Row& old_row) {
 
 void Table::ApplyIndexUpdate(const std::string& pk, const Rid& rid,
                              const Row& old_row, const Row& new_row) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   pk_index_[pk] = rid;
   for (auto& [name, idx] : sec_indexes_) {
     const std::string old_key = SecKeyOf(idx.columns, old_row);
@@ -245,7 +245,7 @@ Status Table::BulkLoad(const std::vector<Row>& rows) {
   PageNo page_no;
   uint16_t slot;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     page_no = static_cast<PageNo>(pages_.size());
   }
   slot = 0;
@@ -256,7 +256,7 @@ Status Table::BulkLoad(const std::vector<Row>& rows) {
     VEDB_RETURN_IF_ERROR(engine_->pagestore()->InstallPageDirect(
         PackPageKey(space_, page_no), 0, Slice(image)));
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      vedb::MutexLock lk(&mu_);
       PageMeta meta;
       meta.page_no = page_no;
       meta.free_bytes = page.FreeBytes();
@@ -285,7 +285,7 @@ Status Table::BulkLoad(const std::vector<Row>& rows) {
     VEDB_RETURN_IF_ERROR(page.PutRow(slot, Slice(bytes)));
     const std::string pk = PkOf(schema_, row);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      vedb::MutexLock lk(&mu_);
       pk_index_[pk] = Rid{page_no, slot};
       row_count_++;
       for (auto& [name, idx] : sec_indexes_) {
@@ -298,7 +298,7 @@ Status Table::BulkLoad(const std::vector<Row>& rows) {
 }
 
 Status Table::RebuildIndexes() {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   pk_index_.clear();
   for (auto& [name, idx] : sec_indexes_) idx.entries.clear();
   pages_.clear();
@@ -337,7 +337,7 @@ Status Table::RebuildIndexes() {
 }
 
 std::vector<PageNo> Table::PageList() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   std::vector<PageNo> out;
   out.reserve(pages_.size());
   for (const PageMeta& meta : pages_) out.push_back(meta.page_no);
@@ -345,7 +345,7 @@ std::vector<PageNo> Table::PageList() const {
 }
 
 uint64_t Table::approximate_row_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   return row_count_;
 }
 

@@ -33,7 +33,7 @@ void AStoreLogStore::InitMetrics(const char* backend) {
 void DurabilityWatermark::MarkDurable(uint64_t first, uint64_t last) {
   bool advanced = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     completed_.insert({first, last});
     // Fold any now-contiguous prefix into the watermark.
     while (!completed_.empty()) {
@@ -48,15 +48,15 @@ void DurabilityWatermark::MarkDurable(uint64_t first, uint64_t last) {
 }
 
 void DurabilityWatermark::WaitDurable(uint64_t lsn) {
-  std::unique_lock<std::mutex> lk(mu_);
-  cond_.Wait(lk, [&] { return durable_ >= lsn; });
+  vedb::MutexLock lk(&mu_);
+  cond_.Wait(&mu_, [&] { return durable_ >= lsn; });
 }
 
 
 Status GroupCommitter::Submit(Item item) {
   const uint64_t first = item.first_lsn;
   const uint64_t last = item.last_lsn;
-  std::unique_lock<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   pending_.push_back(std::move(item));
   while (true) {
     auto failed = failed_.find(first);
@@ -71,33 +71,33 @@ Status GroupCommitter::Submit(Item item) {
       flushing_ = true;
       std::vector<Item> group;
       group.swap(pending_);
-      lk.unlock();
+      lk.Unlock();
 
       Status s = flush_(group);
       // Resolve the group: record failures (before the watermark makes the
       // range look durable), fire downstream cancellations, then advance
       // the watermark so committers and followers wake.
       if (!s.ok()) {
-        lk.lock();
+        lk.Lock();
         for (const Item& g : group) {
           failed_[g.first_lsn] = {g.last_lsn, s};
         }
-        lk.unlock();
+        lk.Unlock();
         for (const Item& g : group) {
           if (g.on_failed) g.on_failed(g.first_lsn, g.last_lsn);
         }
       }
       watermark_->MarkDurable(group.front().first_lsn,
                               group.back().last_lsn);
-      lk.lock();
+      lk.Lock();
       flushing_ = false;
-      lk.unlock();
+      lk.Unlock();
       cond_.NotifyAll();
-      lk.lock();
+      lk.Lock();
       continue;
     }
     // Follower: wait for the in-flight flush to finish, then re-check.
-    cond_.Wait(lk, [&] { return !flushing_; });
+    cond_.Wait(&mu_, [&] { return !flushing_; });
   }
 }
 
@@ -144,7 +144,7 @@ Result<AppendResult> BlobLogStore::AppendBatch(
 
   GroupCommitter::Item item;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     item.first_lsn = next_lsn_;
     next_lsn_ += payloads.size();
     item.last_lsn = next_lsn_ - 1;
@@ -168,7 +168,7 @@ Status BlobLogStore::FlushGroup(const std::vector<GroupCommitter::Item>& items) 
   // I/O request..." (Section V).
   Duration sched_delay;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sched_delay = static_cast<Duration>(
         rng_.Exponential(static_cast<double>(options_.sched_delay_mean)));
   }
@@ -229,7 +229,7 @@ Result<std::vector<astore::LogRecord>> BlobLogStore::ReadFrom(
 }
 
 uint64_t BlobLogStore::NextLsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   return next_lsn_;
 }
 
@@ -287,7 +287,7 @@ Result<AppendResult> AStoreLogStore::AppendBatch(
 
   GroupCommitter::Item item;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     item.first_lsn = next_lsn_;
     next_lsn_ += payloads.size();
     item.last_lsn = next_lsn_ - 1;
@@ -342,7 +342,7 @@ Result<std::vector<astore::LogRecord>> AStoreLogStore::ReadFrom(
 }
 
 uint64_t AStoreLogStore::NextLsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   return next_lsn_;
 }
 

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -24,6 +23,7 @@
 #include "blob/blob_store.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "sim/env.h"
 
@@ -105,14 +105,14 @@ class GroupCommitter {
   Status Submit(Item item);
 
  private:
-  std::mutex mu_;
+  vedb::Mutex mu_{"logstore.committer"};
   sim::VirtualCondition cond_;
   DurabilityWatermark* watermark_;
   FlushFn flush_;
-  bool flushing_ = false;
-  std::vector<Item> pending_;
+  bool flushing_ GUARDED_BY(mu_) = false;
+  std::vector<Item> pending_ GUARDED_BY(mu_);
   // first_lsn -> (last_lsn, error) for failed groups awaiting pickup.
-  std::map<uint64_t, std::pair<uint64_t, Status>> failed_;
+  std::map<uint64_t, std::pair<uint64_t, Status>> failed_ GUARDED_BY(mu_);
 };
 
 /// Tracks the contiguous durability watermark across overlapping appends.
@@ -133,15 +133,17 @@ class DurabilityWatermark {
   void WaitDurable(uint64_t lsn);
 
   uint64_t durable_lsn() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     return durable_;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable vedb::Mutex mu_{"logstore.watermark"};
   sim::VirtualCondition cond_;
-  uint64_t durable_ = 0;  // all lsns <= durable_ are durable
-  std::set<std::pair<uint64_t, uint64_t>> completed_;  // disjoint ranges
+  // all lsns <= durable_ are durable
+  uint64_t durable_ GUARDED_BY(mu_) = 0;
+  // disjoint ranges
+  std::set<std::pair<uint64_t, uint64_t>> completed_ GUARDED_BY(mu_);
 };
 
 /// SSD/BlobGroup-backed baseline.
@@ -195,9 +197,9 @@ class BlobLogStore : public LogStore {
   DurabilityWatermark watermark_;
   GroupCommitter committer_;
 
-  mutable std::mutex mu_;
-  uint64_t next_lsn_ = 1;
-  Random rng_;
+  mutable vedb::Mutex mu_{"logstore.blob"};
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 1;
+  Random rng_ GUARDED_BY(mu_);
 
   // Observability (resolved once at construction; see obs/metrics.h).
   obs::Counter* appends_ = nullptr;
@@ -264,8 +266,8 @@ class AStoreLogStore : public LogStore {
   DurabilityWatermark watermark_;
   GroupCommitter committer_;
 
-  mutable std::mutex mu_;
-  uint64_t next_lsn_ = 1;
+  mutable vedb::Mutex mu_{"logstore.astore"};
+  uint64_t next_lsn_ GUARDED_BY(mu_) = 1;
 
   // Observability (resolved once at construction; see obs/metrics.h).
   obs::Counter* appends_ = nullptr;

@@ -24,19 +24,19 @@ RdmaFabric::RdmaFabric(sim::SimEnvironment* env, const Options& options)
 
 MemoryRegionId RdmaFabric::RegisterMemory(sim::SimNode* node,
                                           pmem::PmemDevice* pmem) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   MemoryRegionId id{next_region_++};
   regions_[id] = Region{node, pmem};
   return id;
 }
 
 void RdmaFabric::UnregisterMemory(MemoryRegionId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   regions_.erase(id);
 }
 
 Result<RdmaFabric::Region> RdmaFabric::Lookup(MemoryRegionId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = regions_.find(id);
   if (it == regions_.end()) {
     return Status::InvalidArgument("unregistered memory region");

@@ -9,12 +9,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -158,9 +158,9 @@ class RdmaFabric {
   Options options_;
   VerbMetrics read_metrics_;
   VerbMetrics write_metrics_;
-  mutable std::mutex mu_;
-  std::map<MemoryRegionId, Region> regions_;
-  uint32_t next_region_ = 1;
+  mutable vedb::Mutex mu_{"net.rdma"};
+  std::map<MemoryRegionId, Region> regions_ GUARDED_BY(mu_);
+  uint32_t next_region_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace vedb::net

@@ -40,25 +40,25 @@ void RecordCall(const std::string& service, Duration latency) {
 void RpcTransport::RegisterService(sim::SimNode* node,
                                    const std::string& service,
                                    RpcHandler handler) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   services_[{node->name(), service}] = std::move(handler);
 }
 
 void RpcTransport::UnregisterService(sim::SimNode* node,
                                      const std::string& service) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   services_.erase({node->name(), service});
 }
 
 void RpcTransport::RegisterTimedService(sim::SimNode* node,
                                         const std::string& service,
                                         TimedRpcHandler handler) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   timed_services_[{node->name(), service}] = std::move(handler);
 }
 
 Duration RpcTransport::SchedJitter() {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   if (options_.sched_jitter_mean == 0) return 0;
   return static_cast<Duration>(
       rng_.Exponential(static_cast<double>(options_.sched_jitter_mean)));
@@ -99,7 +99,7 @@ std::vector<Status> RpcTransport::CallScatter(
     }
     TimedRpcHandler handler;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      vedb::MutexLock lk(&mu_);
       auto it = timed_services_.find({server->name(), calls[i].service});
       if (it == timed_services_.end()) {
         statuses[i] = Status::NotFound("no timed service " + calls[i].service +
@@ -216,7 +216,7 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
 
   RpcHandler handler;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     auto it = services_.find({server->name(), service});
     if (it == services_.end()) {
       return Status::NotFound("no service " + service + " on " +
@@ -227,7 +227,7 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
 
   Duration sched_delay = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    vedb::MutexLock lk(&mu_);
     if (options_.sched_jitter_mean > 0) {
       sched_delay = static_cast<Duration>(
           rng_.Exponential(static_cast<double>(options_.sched_jitter_mean)));

@@ -8,11 +8,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/units.h"
@@ -118,11 +118,12 @@ class RpcTransport {
 
   sim::SimEnvironment* env_;
   Options options_;
-  std::mutex mu_;
-  Random rng_;
-  std::map<std::pair<std::string, std::string>, RpcHandler> services_;
+  vedb::Mutex mu_{"net.rpc"};
+  Random rng_ GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, RpcHandler> services_
+      GUARDED_BY(mu_);
   std::map<std::pair<std::string, std::string>, TimedRpcHandler>
-      timed_services_;
+      timed_services_ GUARDED_BY(mu_);
 };
 
 }  // namespace vedb::net

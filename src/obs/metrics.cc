@@ -23,28 +23,28 @@ LabelSet CanonicalLabels(LabelSet labels) {
 }
 
 void HistogramMetric::Observe(uint64_t value) {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&histogram_, sizeof(histogram_), /*is_write=*/true,
                     "HistogramMetric::Observe");
   histogram_.Add(value);
 }
 
 void HistogramMetric::Merge(const Histogram& other) {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&histogram_, sizeof(histogram_), /*is_write=*/true,
                     "HistogramMetric::Merge");
   histogram_.Merge(other);
 }
 
 Histogram HistogramMetric::Snapshot() const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&histogram_, sizeof(histogram_), /*is_write=*/false,
                     "HistogramMetric::Snapshot");
   return histogram_;
 }
 
 void HistogramMetric::Reset() {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&histogram_, sizeof(histogram_), /*is_write=*/true,
                     "HistogramMetric::Reset");
   histogram_.Clear();
@@ -52,7 +52,7 @@ void HistogramMetric::Reset() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name, LabelSet labels) {
   Key key{name, CanonicalLabels(std::move(labels))};
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&counters_, sizeof(counters_), /*is_write=*/true,
                     "MetricsRegistry::GetCounter");
   VEDB_CHECK(gauges_.find(key) == gauges_.end() &&
@@ -66,7 +66,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name, LabelSet labels) {
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name, LabelSet labels) {
   Key key{name, CanonicalLabels(std::move(labels))};
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&gauges_, sizeof(gauges_), /*is_write=*/true,
                     "MetricsRegistry::GetGauge");
   VEDB_CHECK(counters_.find(key) == counters_.end() &&
@@ -81,7 +81,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, LabelSet labels) {
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
                                                LabelSet labels) {
   Key key{name, CanonicalLabels(std::move(labels))};
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&histograms_, sizeof(histograms_), /*is_write=*/true,
                     "MetricsRegistry::GetHistogram");
   VEDB_CHECK(counters_.find(key) == counters_.end() &&
@@ -94,35 +94,35 @@ HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 void MetricsRegistry::ResetValues() {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   for (auto& [key, c] : counters_) c->Reset();
   for (auto& [key, g] : gauges_) g->Reset();
   for (auto& [key, h] : histograms_) h->Reset();
 }
 
 void MetricsRegistry::RemoveAllForTesting() {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 size_t MetricsRegistry::MetricCount() const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 void MetricsRegistry::VisitCounters(
     const std::function<void(const std::string&, const LabelSet&, uint64_t)>&
         fn) const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   for (const auto& [key, c] : counters_) fn(key.name, key.labels, c->value());
 }
 
 void MetricsRegistry::VisitGauges(
     const std::function<void(const std::string&, const LabelSet&, int64_t)>&
         fn) const {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   for (const auto& [key, g] : gauges_) fn(key.name, key.labels, g->value());
 }
 
@@ -131,7 +131,7 @@ void MetricsRegistry::VisitHistograms(
                              const Histogram&)>& fn) const {
   std::vector<std::pair<Key, Histogram>> copies;
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     copies.reserve(histograms_.size());
     for (const auto& [key, h] : histograms_) {
       copies.emplace_back(key, h->Snapshot());

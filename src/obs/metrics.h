@@ -20,12 +20,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace vedb::obs {
@@ -74,8 +74,8 @@ class HistogramMetric {
  private:
   friend class MetricsRegistry;
   void Reset();
-  mutable std::mutex mu_;
-  Histogram histogram_;
+  mutable vedb::Mutex mu_{"obs.metrics.histogram"};
+  Histogram histogram_ GUARDED_BY(mu_);
 };
 
 class MetricsRegistry {
@@ -130,10 +130,10 @@ class MetricsRegistry {
     }
   };
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+  mutable vedb::Mutex mu_{"obs.metrics.registry"};
+  std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace vedb::obs

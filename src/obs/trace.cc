@@ -63,7 +63,7 @@ void Tracer::PushContext(const TraceContext& ctx) {
 void Tracer::PopContext() { tls_context_stack.pop_back(); }
 
 void Tracer::Record(Span span) {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&finished_, sizeof(finished_), /*is_write=*/true,
                     "Tracer::Record");
   finished_.push_back(std::move(span));
@@ -88,7 +88,7 @@ TraceContext Tracer::AddSpan(
 std::vector<Span> Tracer::FinishedSpans() const {
   std::vector<Span> spans;
   {
-    sim::RaceScopedLock lk(mu_);
+    vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&finished_, sizeof(finished_), /*is_write=*/false,
                       "Tracer::FinishedSpans");
     spans = finished_;
@@ -146,7 +146,7 @@ std::string Tracer::ToJson() const {
 }
 
 void Tracer::Clear() {
-  sim::RaceScopedLock lk(mu_);
+  vedb::MutexLock lk(&mu_);
   sim::RaceAnnotate(&finished_, sizeof(finished_), /*is_write=*/true,
                     "Tracer::Clear");
   finished_.clear();

@@ -24,12 +24,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "sim/clock.h"
 
@@ -116,8 +116,8 @@ class Tracer {
   sim::VirtualClock* clock_;
   std::atomic<uint64_t> next_span_id_{1};
   std::atomic<uint64_t> next_trace_id_{1};
-  mutable std::mutex mu_;
-  std::vector<Span> finished_;
+  mutable vedb::Mutex mu_{"obs.tracer"};
+  std::vector<Span> finished_ GUARDED_BY(mu_);
 
   static std::atomic<Tracer*> global_;
 };

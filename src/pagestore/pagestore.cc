@@ -152,7 +152,7 @@ Status PageStoreCluster::HandleShip(int shard, int replica_idx, Slice request,
   // Records are persisted (SSD) before acking.
   *done = rep->node->storage()->SubmitAt(start, total_bytes + 64 * count);
   {
-    std::lock_guard<std::mutex> lk(rep->mu);
+    vedb::MutexLock lk(&rep->mu);
     InsertRecordsLocked(rep, records);
   }
   response->clear();
@@ -177,7 +177,7 @@ Status PageStoreCluster::ShipRecords(
     uint64_t seq;
     {
       Shard* shard = shards_[s].get();
-      std::lock_guard<std::mutex> lk(shard->ship_mu);
+      vedb::MutexLock lk(&shard->ship_mu);
       seq = shard->next_seq++;
       shard->last_shipped_lsn = std::max(shard->last_shipped_lsn, rec.lsn);
     }
@@ -244,7 +244,7 @@ Status PageStoreCluster::HandleReadPage(int shard, int replica_idx,
   // holds, try one synchronous gossip catch-up before giving up.
   bool need_gossip;
   {
-    std::lock_guard<std::mutex> lk(rep->mu);
+    vedb::MutexLock lk(&rep->mu);
     uint64_t reachable_lsn = rep->applied_lsn;
     for (auto it = rep->records.upper_bound(rep->applied_seq);
          it != rep->records.end() && it->first <= rep->contiguous_seq; ++it) {
@@ -261,7 +261,7 @@ Status PageStoreCluster::HandleReadPage(int shard, int replica_idx,
   uint64_t applied;
   Status result;
   {
-    std::lock_guard<std::mutex> lk(rep->mu);
+    vedb::MutexLock lk(&rep->mu);
     applied = ApplyContiguousLocked(rep);
     if (rep->applied_lsn < min_lsn) {
       result = Status::Stale("replica behind requested LSN");
@@ -331,7 +331,7 @@ Status PageStoreCluster::HandleFetch(int shard, int replica_idx,
   uint32_t count = 0;
   std::string body;
   {
-    std::lock_guard<std::mutex> lk(rep->mu);
+    vedb::MutexLock lk(&rep->mu);
     for (auto it = rep->records.upper_bound(after); it != rep->records.end();
          ++it) {
       PutFixed64(&body, it->first);
@@ -351,7 +351,7 @@ bool PageStoreCluster::GossipCatchUp(int shard, int replica_idx) {
   ShardReplica* rep = shards_[shard]->replicas[replica_idx].get();
   uint64_t after;
   {
-    std::lock_guard<std::mutex> lk(rep->mu);
+    vedb::MutexLock lk(&rep->mu);
     after = rep->contiguous_seq;
   }
   bool progressed = false;
@@ -385,7 +385,7 @@ bool PageStoreCluster::GossipCatchUp(int shard, int replica_idx) {
       records.emplace_back(seq, std::move(rec));
     }
     if (!records.empty()) {
-      std::lock_guard<std::mutex> lk(rep->mu);
+      vedb::MutexLock lk(&rep->mu);
       const uint64_t before = rep->contiguous_seq;
       InsertRecordsLocked(rep, records);
       if (rep->contiguous_seq > before) {
@@ -395,7 +395,7 @@ bool PageStoreCluster::GossipCatchUp(int shard, int replica_idx) {
       }
     }
     {
-      std::lock_guard<std::mutex> lk(rep->mu);
+      vedb::MutexLock lk(&rep->mu);
       if (rep->contiguous_seq >= rep->max_seen_seq) break;  // caught up
     }
   }
@@ -412,7 +412,7 @@ Status PageStoreCluster::ReadLocalPage(sim::SimNode* node, PageKey key,
     uint64_t applied;
     Status result;
     {
-      std::lock_guard<std::mutex> lk(rep->mu);
+      vedb::MutexLock lk(&rep->mu);
       applied = ApplyContiguousLocked(rep);
       auto it = rep->pages.find(key);
       if (it == rep->pages.end()) {
@@ -438,7 +438,7 @@ Status PageStoreCluster::PeekLocalPage(sim::SimNode* node, PageKey key,
   for (int r = 0; r < options_.replication; ++r) {
     ShardReplica* rep = shards_[s]->replicas[r].get();
     if (rep->node != node) continue;
-    std::lock_guard<std::mutex> lk(rep->mu);
+    vedb::MutexLock lk(&rep->mu);
     *applied = ApplyContiguousLocked(rep);
     auto it = rep->pages.find(key);
     if (it == rep->pages.end()) {
@@ -462,7 +462,7 @@ Status PageStoreCluster::InstallPageDirect(PageKey key, uint64_t lsn,
                                            Slice image) {
   const int s = ShardOf(key);
   for (auto& rep : shards_[s]->replicas) {
-    std::lock_guard<std::mutex> lk(rep->mu);
+    vedb::MutexLock lk(&rep->mu);
     PageImage& img = rep->pages[key];
     img.lsn = lsn;
     img.bytes = image.ToString();
@@ -479,7 +479,7 @@ uint64_t PageStoreCluster::DurableLsn() const {
   for (const auto& shard : shards_) {
     uint64_t shipped;
     {
-      std::lock_guard<std::mutex> lk(shard->ship_mu);
+      vedb::MutexLock lk(&shard->ship_mu);
       shipped = shard->last_shipped_lsn;
     }
     const uint64_t acked = shard->acked_lsn.load();
@@ -492,7 +492,7 @@ uint64_t PageStoreCluster::DurableLsn() const {
 void PageStoreCluster::TruncateBelow(uint64_t lsn) {
   for (auto& shard : shards_) {
     for (auto& rep : shard->replicas) {
-      std::lock_guard<std::mutex> lk(rep->mu);
+      vedb::MutexLock lk(&rep->mu);
       // Only applied records may be dropped.
       for (auto it = rep->records.begin(); it != rep->records.end();) {
         if (it->first <= rep->applied_seq && it->second.lsn < lsn) {
@@ -518,7 +518,7 @@ void PageStoreCluster::BackgroundLoop(sim::SimNode* node) {
         bool hole;
         uint64_t applied;
         {
-          std::lock_guard<std::mutex> lk(rep->mu);
+          vedb::MutexLock lk(&rep->mu);
           applied = ApplyContiguousLocked(rep);
           hole = rep->contiguous_seq < rep->max_seen_seq;
         }

@@ -23,13 +23,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/rpc.h"
 #include "obs/metrics.h"
 #include "sim/env.h"
@@ -147,14 +147,19 @@ class PageStoreCluster {
   /// One replica of one shard, resident on a node. Records are keyed by
   /// their dense chain sequence number.
   struct ShardReplica {
-    std::mutex mu;
+    vedb::Mutex mu{"pagestore.replica"};
     sim::SimNode* node = nullptr;
-    std::map<uint64_t, StoredRecord> records;  // by chain seq (1-based)
-    uint64_t contiguous_seq = 0;  // all seqs <= this are present
-    uint64_t max_seen_seq = 0;    // largest seq ever received
-    uint64_t applied_seq = 0;     // records <= this are in page images
-    uint64_t applied_lsn = 0;     // lsn of the last applied record
-    std::map<PageKey, PageImage> pages;
+    // by chain seq (1-based)
+    std::map<uint64_t, StoredRecord> records GUARDED_BY(mu);
+    // all seqs <= this are present
+    uint64_t contiguous_seq GUARDED_BY(mu) = 0;
+    // largest seq ever received
+    uint64_t max_seen_seq GUARDED_BY(mu) = 0;
+    // records <= this are in page images
+    uint64_t applied_seq GUARDED_BY(mu) = 0;
+    // lsn of the last applied record
+    uint64_t applied_lsn GUARDED_BY(mu) = 0;
+    std::map<PageKey, PageImage> pages GUARDED_BY(mu);
   };
 
   struct Shard {
@@ -162,9 +167,9 @@ class PageStoreCluster {
     std::vector<std::unique_ptr<ShardReplica>> replicas;
     // Storage-SDK-side bookkeeping: chain sequence allocation and the
     // quorum-acked high-water mark.
-    mutable std::mutex ship_mu;
-    uint64_t next_seq = 1;
-    uint64_t last_shipped_lsn = 0;
+    mutable vedb::Mutex ship_mu{"pagestore.ship"};
+    uint64_t next_seq GUARDED_BY(ship_mu) = 1;
+    uint64_t last_shipped_lsn GUARDED_BY(ship_mu) = 0;
     std::atomic<uint64_t> acked_lsn{0};
   };
 
@@ -175,16 +180,16 @@ class PageStoreCluster {
   Status HandleFetch(int shard, int replica_idx, Slice request,
                      std::string* response);
 
-  /// Inserts records and advances the contiguity watermark. Caller holds
-  /// the replica lock.
+  /// Inserts records and advances the contiguity watermark.
   void InsertRecordsLocked(
       ShardReplica* rep,
-      const std::vector<std::pair<uint64_t, StoredRecord>>& records);
+      const std::vector<std::pair<uint64_t, StoredRecord>>& records)
+      REQUIRES(rep->mu);
 
   /// Applies contiguous unapplied records; returns how many were applied.
-  /// Caller holds the replica lock and must charge the CPU cost (applied *
-  /// apply_cpu_per_record) after unlocking — never block under the lock.
-  uint64_t ApplyContiguousLocked(ShardReplica* rep);
+  /// The caller must charge the CPU cost (applied * apply_cpu_per_record)
+  /// after unlocking — never block under the lock.
+  uint64_t ApplyContiguousLocked(ShardReplica* rep) REQUIRES(rep->mu);
 
   /// Pulls missing records from peer replicas. Must be called WITHOUT the
   /// replica lock (does RPC). Returns true if progress was made.

@@ -189,7 +189,7 @@ Result<std::vector<Row>> ScanNode::ExecuteLocal(ExecContext* ctx) {
       return frame.status();
     }
     {
-      std::lock_guard<std::mutex> lk((*frame)->mu);
+      vedb::MutexLock lk(&(*frame)->mu);
       engine::Page page(&(*frame)->image);
       for (uint16_t slot = 0; slot < page.slot_count(); ++slot) {
         Slice bytes;

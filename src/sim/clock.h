@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "sim/race_detector.h"
 
@@ -144,6 +145,10 @@ class VirtualClock {
   // Conditions with parked waiters (diagnostics for deadlock reports).
   std::set<VirtualCondition*> parked_conditions_;
 
+  // Waiver(thread-annotations): the clock core keeps std::mutex — its
+  // condition_variables require std::unique_lock<std::mutex>, and the clock
+  // is the substrate the vedb::Mutex instrumentation itself runs on (the
+  // lock-order graph excludes its own runtime, like lockdep does).
   mutable std::mutex mu_;
   Timestamp now_ = 0;
   int actors_ = 0;
@@ -216,6 +221,36 @@ class VirtualCondition {
     }
   }
 
+  /// As Wait above, for predicate state guarded by an annotated
+  /// vedb::Mutex. `mu` must be held on entry and is held again on return.
+  /// The body toggles the lock through the wait, which the static analysis
+  /// cannot follow; callers are still checked against REQUIRES(mu).
+  template <typename Pred>
+  void Wait(vedb::Mutex* mu, Pred pred) REQUIRES(mu)
+      NO_THREAD_SAFETY_ANALYSIS {
+    while (true) {
+      uint64_t g = PrepareWait();
+      if (pred()) return;
+      mu->Unlock();
+      CommitWait(g);
+      mu->Lock();
+    }
+  }
+
+  /// As WaitUntil above, for vedb::Mutex-guarded state.
+  template <typename Pred>
+  bool WaitUntil(vedb::Mutex* mu, Timestamp deadline, Pred pred) REQUIRES(mu)
+      NO_THREAD_SAFETY_ANALYSIS {
+    while (true) {
+      uint64_t g = PrepareWait();
+      if (pred()) return true;
+      if (clock_->Now() >= deadline) return false;
+      mu->Unlock();
+      CommitWaitUntil(g, deadline);
+      mu->Lock();
+    }
+  }
+
   /// Wakes all parked waiters. Call after mutating the predicate's state
   /// (holding or having released the user lock).
   void NotifyAll();
@@ -259,6 +294,8 @@ class ActorGroup {
 
  private:
   VirtualClock* clock_;
+  // Waiver(thread-annotations): gate state waits on a real (not virtual)
+  // condition_variable, which requires std::unique_lock<std::mutex>.
   std::mutex mu_;
   std::condition_variable start_cv_;
   bool started_ = false;

@@ -1,6 +1,17 @@
 #include "sim/env.h"
 
+#include "sim/lock_order.h"
+
 namespace vedb::sim {
+
+SimEnvironment::SimEnvironment(uint64_t seed) : seed_rng_(seed) {
+  // Route vedb::Mutex acquire/release into the race detector and the
+  // lock-order graph, and honor the VEDB_LOCK_ORDER environment contract.
+  // Both calls are idempotent: a second SimEnvironment (common in tests
+  // that build several clusters) neither resets nor re-registers anything.
+  InstallMutexObserver();
+  InitLockOrderFromEnv();
+}
 
 DeviceParams HardwareProfile::NvmeSsd(uint64_t seed) {
   DeviceParams p;
@@ -54,7 +65,7 @@ SimNode::SimNode(VirtualClock* clock, std::string name,
 
 SimNode* SimEnvironment::AddNode(const std::string& name,
                                  const NodeConfig& config) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   VEDB_CHECK(nodes_.find(name) == nodes_.end(), "duplicate node %s",
              name.c_str());
   auto node =
@@ -65,7 +76,7 @@ SimNode* SimEnvironment::AddNode(const std::string& name,
 }
 
 SimNode* SimEnvironment::GetNode(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = nodes_.find(name);
   VEDB_CHECK(it != nodes_.end(), "unknown node %s", name.c_str());
   return it->second.get();

@@ -7,11 +7,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "sim/clock.h"
 #include "sim/device.h"
@@ -62,11 +62,11 @@ class SimNode {
 
   /// Marks the node dead/alive. Dead nodes fail all I/O addressed to them.
   void SetAlive(bool alive) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     alive_ = alive;
   }
   bool alive() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     return alive_;
   }
 
@@ -76,14 +76,16 @@ class SimNode {
   QueueingDevice cpu_;
   QueueingDevice nic_;
   QueueingDevice storage_;
-  mutable std::mutex mu_;
-  bool alive_ = true;
+  mutable Mutex mu_{"sim.node"};
+  bool alive_ GUARDED_BY(mu_) = true;
 };
 
 /// Owns the clock, fault registry, and nodes of one simulation.
 class SimEnvironment {
  public:
-  explicit SimEnvironment(uint64_t seed = 2023) : seed_rng_(seed) {}
+  /// Besides seeding, the constructor installs the vedb::Mutex observer and
+  /// honors VEDB_LOCK_ORDER / VEDB_LOCK_ORDER_REPORT (see sim/lock_order.h).
+  explicit SimEnvironment(uint64_t seed = 2023);
 
   VirtualClock* clock() { return &clock_; }
   FaultInjector* faults() { return &faults_; }
@@ -97,16 +99,16 @@ class SimEnvironment {
 
   /// Derives a deterministic seed for a subsystem.
   uint64_t NextSeed() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     return seed_rng_.Next();
   }
 
  private:
   VirtualClock clock_;
   FaultInjector faults_;
-  std::mutex mu_;
-  Random seed_rng_;
-  std::map<std::string, std::unique_ptr<SimNode>> nodes_;
+  Mutex mu_{"sim.env"};
+  Random seed_rng_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<SimNode>> nodes_ GUARDED_BY(mu_);
 };
 
 }  // namespace vedb::sim

@@ -4,7 +4,7 @@ namespace vedb::sim {
 
 void FaultInjector::Arm(const std::string& site, double probability,
                         Status failure, int remaining, int skip) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   Rule& rule = rules_[site];
   rule.probability = probability;
   rule.failure = std::move(failure);
@@ -13,12 +13,12 @@ void FaultInjector::Arm(const std::string& site, double probability,
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   rules_.erase(site);
 }
 
 Status FaultInjector::MaybeFail(const std::string& site) {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = rules_.find(site);
   if (it == rules_.end()) return Status::OK();
   Rule& rule = it->second;
@@ -34,7 +34,7 @@ Status FaultInjector::MaybeFail(const std::string& site) {
 }
 
 uint64_t FaultInjector::InjectedCount(const std::string& site) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  vedb::MutexLock lk(&mu_);
   auto it = rules_.find(site);
   return it == rules_.end() ? 0 : it->second.injected;
 }

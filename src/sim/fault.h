@@ -6,11 +6,11 @@
 #define VEDB_SIM_FAULT_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace vedb::sim {
 
@@ -45,9 +45,9 @@ class FaultInjector {
     uint64_t injected = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Rule> rules_;
-  Random rng_;
+  mutable Mutex mu_{"sim.fault"};
+  std::map<std::string, Rule> rules_ GUARDED_BY(mu_);
+  Random rng_ GUARDED_BY(mu_);
 };
 
 }  // namespace vedb::sim

@@ -1,6 +1,7 @@
 #include "sim/race_detector.h"
 
 #include "common/logging.h"
+#include "sim/lock_order.h"
 
 namespace vedb::sim {
 
@@ -19,6 +20,8 @@ RaceDetector& RaceDetector::Instance() {
 }
 
 void RaceDetector::Enable() {
+  // vedb::Mutex acquire/release reach the detector through the observer.
+  InstallMutexObserver();
   RaceDetector& d = Instance();
   std::lock_guard<std::mutex> lk(d.mu_);
   d.ResetLocked();

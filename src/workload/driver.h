@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "sim/clock.h"
 #include "sim/env.h"
@@ -37,7 +38,7 @@ inline LoadResult RunClosedLoop(
     sim::SimEnvironment* env, int clients, Duration warmup, Duration duration,
     const std::function<Status(int client)>& op) {
   LoadResult result;
-  std::mutex merge_mu;
+  vedb::Mutex merge_mu{"workload.merge"};
   const Timestamp t0 = env->clock()->Now();
   const Timestamp measure_start = t0 + warmup;
   const Timestamp end = measure_start + duration;
@@ -68,7 +69,7 @@ inline LoadResult RunClosedLoop(
             errors++;
           }
         }
-        std::lock_guard<std::mutex> lk(merge_mu);
+        vedb::MutexLock lk(&merge_mu);
         result.operations += ops;
         result.errors += errors;
         result.latency.Merge(local);

@@ -102,7 +102,7 @@ TEST_F(BufferPoolTest, MissingPageCreatesWhenAsked) {
   auto created = bp.Pin(42, true);
   ASSERT_TRUE(created.ok());
   {
-    std::lock_guard<std::mutex> lk((*created)->mu);
+    vedb::MutexLock lk(&(*created)->mu);
     Page page(&(*created)->image);
     EXPECT_EQ(page.slot_count(), 0);
   }

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "sim/clock.h"
 #include "sim/race_detector.h"
@@ -141,6 +142,73 @@ TEST(RaceDetectorTest, ForkEdgeOrdersSpawnerBeforeChild) {
     group.JoinAll();
   }
   clock.UnregisterActor();
+  EXPECT_EQ(RaceDetector::Instance().race_count(), 0u);
+}
+
+TEST(RaceDetectorTest, CondvarNotifyWakeIsAHappensBeforeEdge) {
+  // Producer publishes `shared` and flips `ready` under the annotated
+  // mutex; the consumer blocks in the vedb::Mutex Wait overload and writes
+  // `shared` after waking. The notify→wake edge (CondNotifyRelease /
+  // CondWakeAcquire, fired from inside VirtualCondition) plus the lock
+  // edges must order the two writes: no report.
+  VirtualClock clock;
+  ScopedDetector det;
+  vedb::Mutex mu("test.cond");
+  VirtualCondition cond(&clock);
+  bool ready = false;
+  int shared = 0;
+  {
+    ActorGroup group(&clock);
+    group.Spawn([&] {
+      clock.SleepFor(5 * kMillisecond);  // let the consumer block first
+      {
+        vedb::MutexLock lk(&mu);
+        shared = 1;
+        RaceAnnotate(&shared, sizeof(shared), /*is_write=*/true, "producer");
+        ready = true;
+      }
+      cond.NotifyAll();
+    });
+    group.Spawn([&] {
+      vedb::MutexLock lk(&mu);
+      cond.Wait(&mu, [&] { return ready; });
+      shared = 2;
+      RaceAnnotate(&shared, sizeof(shared), /*is_write=*/true, "consumer");
+    });
+    group.JoinAll();
+  }
+  EXPECT_EQ(RaceDetector::Instance().race_count(), 0u);
+}
+
+TEST(RaceDetectorTest, CondvarTimeoutStillHoldsLockOnReturn) {
+  // WaitUntil's timeout path must re-acquire the mutex before returning,
+  // so a guarded write right after a timed-out wait is still ordered
+  // against other critical sections. Also pins the return value: false on
+  // timeout, with the predicate still unsatisfied.
+  VirtualClock clock;
+  ScopedDetector det;
+  vedb::Mutex mu("test.cond");
+  VirtualCondition cond(&clock);
+  bool ready = false;  // never set: every wait times out
+  int shared = 0;
+  {
+    ActorGroup group(&clock);
+    group.Spawn([&] {
+      vedb::MutexLock lk(&mu);
+      bool ok = cond.WaitUntil(&mu, clock.Now() + 10 * kMillisecond,
+                               [&] { return ready; });
+      EXPECT_FALSE(ok);
+      shared = 1;  // legal: the lock is held again after the timeout
+      RaceAnnotate(&shared, sizeof(shared), /*is_write=*/true, "timed-out");
+    });
+    group.Spawn([&] {
+      clock.SleepFor(50 * kMillisecond);  // strictly after the timeout
+      vedb::MutexLock lk(&mu);
+      shared = 2;
+      RaceAnnotate(&shared, sizeof(shared), /*is_write=*/true, "late");
+    });
+    group.JoinAll();
+  }
   EXPECT_EQ(RaceDetector::Instance().race_count(), 0u);
 }
 
