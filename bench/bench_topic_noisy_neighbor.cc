@@ -1,0 +1,181 @@
+// Noisy-neighbor isolation bench for the topic + QoS stack: tenant A floods
+// its topic at ~10x its configured rate limit while tenant B runs a steady,
+// well-under-limit produce/consume loop on the same AStore cluster. With
+// admission control on, A queues behind its own token bucket (qos.throttle
+// climbs for A, stays zero for B) and B's consume tail stays within 25% of
+// its solo-run baseline. A third configuration repeats the contended run
+// with QoS disabled for contrast.
+//
+// Exit code is the isolation verdict (0 = PASS), so CI can gate on it; the
+// full registry snapshot per configuration lands in results/.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/topic_workload.h"
+
+namespace vedb {
+namespace {
+
+workload::TopicTenantSpec TenantA() {
+  workload::TopicTenantSpec a;
+  a.name = "tenant-a";
+  a.limits.rate_bytes_per_sec = 1 * kMiB;  // flooded ~10x below
+  a.limits.burst_bytes = 64 * kKiB;
+  a.limits.max_inflight_bytes = 256 * kKiB;
+  a.partitions = 2;
+  a.producers = 4;
+  a.consumers = 1;
+  a.message_bytes = 32 * kKiB;
+  a.produce_interval = 0;  // back-to-back: offered load >> rate limit
+  a.consume_interval = 2 * kMillisecond;
+  return a;
+}
+
+workload::TopicTenantSpec TenantB() {
+  workload::TopicTenantSpec b;
+  b.name = "tenant-b";
+  b.limits.rate_bytes_per_sec = 2 * kMiB;  // offered ~1 MiB/s: never limited
+  b.limits.burst_bytes = 256 * kKiB;
+  b.limits.max_inflight_bytes = 1 * kMiB;
+  b.partitions = 1;
+  b.producers = 1;
+  b.consumers = 1;
+  b.message_bytes = 1 * kKiB;
+  b.produce_interval = 1 * kMillisecond;
+  b.consume_interval = 2 * kMillisecond;
+  return b;
+}
+
+struct RunOutcome {
+  workload::TopicWorkloadResult result;
+  obs::Snapshot snapshot;
+};
+
+Result<RunOutcome> RunConfig(const std::string& label, bool with_a,
+                             bool enable_qos, Duration duration) {
+  workload::TopicWorkloadOptions opts;
+  opts.seed = 2023;
+  opts.warmup = 100 * kMillisecond;
+  opts.duration = duration;
+  opts.enable_qos = enable_qos;
+  if (with_a) opts.tenants.push_back(TenantA());
+  opts.tenants.push_back(TenantB());
+
+  RunOutcome out;
+  VEDB_ASSIGN_OR_RETURN(out.result, workload::RunTopicWorkload(opts));
+  // The workload's environment is gone by now; snapshot at the run's final
+  // virtual time, which is identical across seeded executions.
+  out.snapshot = obs::CollectSnapshot(
+      obs::MetricsRegistry::Default(),
+      opts.warmup + opts.duration, label);
+  obs::MetricsRegistry::Default().ResetValues();
+  return out;
+}
+
+const workload::TenantStats* FindTenant(
+    const workload::TopicWorkloadResult& r, const std::string& name) {
+  for (const auto& t : r.tenants) {
+    if (t.tenant == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace
+}  // namespace vedb
+
+int main(int argc, char** argv) {
+  using namespace vedb;
+  // Scale knob: CI passes a small factor; duration = scale * 100ms.
+  const int scale = bench::ArgInt(argc, argv, 5);
+  const Duration duration = static_cast<Duration>(scale) * 100 * kMillisecond;
+
+  bench::PrintHeader("Topic noisy neighbor: per-tenant QoS isolation");
+
+  auto solo = RunConfig("topic_noisy/solo_b", /*with_a=*/false,
+                        /*enable_qos=*/true, duration);
+  auto qos = RunConfig("topic_noisy/noisy_qos", /*with_a=*/true,
+                       /*enable_qos=*/true, duration);
+  auto noqos = RunConfig("topic_noisy/noisy_noqos", /*with_a=*/true,
+                         /*enable_qos=*/false, duration);
+  if (!solo.ok() || !qos.ok() || !noqos.ok()) {
+    fprintf(stderr, "run failed: %s\n",
+            (!solo.ok()   ? solo.status()
+             : !qos.ok()  ? qos.status()
+                          : noqos.status())
+                .ToString()
+                .c_str());
+    return 1;
+  }
+
+  const workload::TenantStats* solo_b =
+      FindTenant(solo.value().result, "tenant-b");
+  const workload::TenantStats* qos_a =
+      FindTenant(qos.value().result, "tenant-a");
+  const workload::TenantStats* qos_b =
+      FindTenant(qos.value().result, "tenant-b");
+  const workload::TenantStats* noqos_b =
+      FindTenant(noqos.value().result, "tenant-b");
+  if (solo_b == nullptr || qos_a == nullptr || qos_b == nullptr ||
+      noqos_b == nullptr) {
+    fprintf(stderr, "missing tenant stats\n");
+    return 1;
+  }
+
+  const double solo_p99_ms = solo_b->consume_latency.P99() / 1e6;
+  const double qos_b_p99_ms = qos_b->consume_latency.P99() / 1e6;
+  const double noqos_b_p99_ms = noqos_b->consume_latency.P99() / 1e6;
+
+  bench::PrintRow({"config", "B cons P99 ms", "B consumed", "A throttles",
+                   "B throttles"},
+                  16);
+  bench::PrintRow({"solo_b", bench::Fmt("%.3f", solo_p99_ms),
+                   std::to_string(solo_b->consumed), "-",
+                   std::to_string(solo_b->throttle_events)},
+                  16);
+  bench::PrintRow({"noisy_qos", bench::Fmt("%.3f", qos_b_p99_ms),
+                   std::to_string(qos_b->consumed),
+                   std::to_string(qos_a->throttle_events),
+                   std::to_string(qos_b->throttle_events)},
+                  16);
+  bench::PrintRow({"noisy_noqos", bench::Fmt("%.3f", noqos_b_p99_ms),
+                   std::to_string(noqos_b->consumed), "-", "-"},
+                  16);
+
+  // Isolation verdict: under contention with QoS on, B's consume tail stays
+  // within 25% of solo; A pays throttle events, B pays none.
+  const bool p99_ok = qos_b_p99_ms <= solo_p99_ms * 1.25;
+  const bool a_throttled = qos_a->throttle_events > 0;
+  const bool b_clean = qos_b->throttle_events == 0;
+  const bool pass = p99_ok && a_throttled && b_clean;
+  printf("\nisolation: %s  (B P99 %.3fms vs solo %.3fms limit %.3fms; "
+         "A throttles=%llu, B throttles=%llu)\n",
+         pass ? "PASS" : "FAIL", qos_b_p99_ms, solo_p99_ms,
+         solo_p99_ms * 1.25,
+         static_cast<unsigned long long>(qos_a->throttle_events),
+         static_cast<unsigned long long>(qos_b->throttle_events));
+
+  std::vector<std::string> extras;
+  extras.push_back("\"isolation_pass\":" + std::string(pass ? "true" : "false"));
+  extras.push_back("\"solo_b_consume_p99_ms\":" +
+                   bench::Fmt("%.6f", solo_p99_ms));
+  extras.push_back("\"noisy_qos_b_consume_p99_ms\":" +
+                   bench::Fmt("%.6f", qos_b_p99_ms));
+  extras.push_back("\"noisy_noqos_b_consume_p99_ms\":" +
+                   bench::Fmt("%.6f", noqos_b_p99_ms));
+  extras.push_back("\"tenant_a_throttles\":" +
+                   std::to_string(qos_a->throttle_events));
+  extras.push_back("\"tenant_b_throttles\":" +
+                   std::to_string(qos_b->throttle_events));
+  const Status w = bench::WriteBenchResults(
+      "topic_noisy_neighbor", "bench_topic_noisy_neighbor.json",
+      {solo.value().snapshot, qos.value().snapshot, noqos.value().snapshot},
+      extras);
+  if (!w.ok()) {
+    fprintf(stderr, "results export failed: %s\n", w.ToString().c_str());
+    return 1;
+  }
+  return pass ? 0 : 1;
+}

@@ -67,6 +67,44 @@ def check_snapshot(snap, path):
                "samples must be sorted by (name, labels) — determinism drift")
 
 
+def check_qos_labels(snap, path):
+    """Every qos.* sample must carry a tenant label: an unlabeled qos metric
+    cannot be attributed, which silently breaks the per-tenant accounting
+    the admission controller exists to provide."""
+    for kind in ("counters", "gauges", "histograms"):
+        for i, sample in enumerate(snap.get(kind, [])):
+            if sample["name"].startswith("qos."):
+                expect("tenant" in sample["labels"],
+                       f"{path}.{kind}[{i}]",
+                       f"qos metric '{sample['name']}' lacks a 'tenant' label")
+
+
+def find_sample(snap, kind, name, labels):
+    for sample in snap.get(kind, []):
+        if sample["name"] == name and sample["labels"] == labels:
+            return sample
+    return None
+
+
+def check_noisy_neighbor(doc, filename):
+    """Bench-specific contract for bench_topic_noisy_neighbor."""
+    expect(isinstance(doc.get("isolation_pass"), bool), filename,
+           "missing boolean 'isolation_pass'")
+    for key in ("tenant_a_throttles", "tenant_b_throttles"):
+        expect(isinstance(doc.get(key), int), filename,
+               f"missing integer '{key}'")
+    by_label = {s.get("run_label"): s for s in doc["configs"]}
+    expect("topic_noisy/noisy_qos" in by_label, filename,
+           "missing 'topic_noisy/noisy_qos' config")
+    noisy = by_label["topic_noisy/noisy_qos"]
+    throttle = find_sample(noisy, "counters", "qos.throttle",
+                           {"tenant": "tenant-a"})
+    expect(throttle is not None, filename,
+           "noisy_qos config lacks qos.throttle{tenant=tenant-a}")
+    expect(throttle["value"] == doc["tenant_a_throttles"], filename,
+           "tenant_a_throttles extra disagrees with the snapshot counter")
+
+
 def check_breakdown(bd, path):
     if bd is None:
         return
@@ -95,6 +133,9 @@ def check_file(filename):
            "missing non-empty array 'configs'")
     for i, snap in enumerate(configs):
         check_snapshot(snap, f"{filename}.configs[{i}]")
+        check_qos_labels(snap, f"{filename}.configs[{i}]")
+    if doc["bench"] == "topic_noisy_neighbor":
+        check_noisy_neighbor(doc, filename)
     if "breakdown" in doc:
         check_breakdown(doc["breakdown"], f"{filename}.breakdown")
     if "trace_spans" in doc:

@@ -180,12 +180,14 @@ if [[ "${1:-}" == "--self-test" ]]; then
   exit $?
 fi
 
-check_pmem_raw_write src/astore src/net src/logstore src/ebp
+check_pmem_raw_write src/astore src/net src/logstore src/ebp src/topic \
+                     src/qos
 check_pmem_api_bypass src
 check_status_discard src tests bench examples
 check_naked_threads src/astore src/blob src/common src/ebp src/engine \
                     src/logstore src/net src/obs src/pagestore src/pmem \
-                    src/query src/workload tests bench examples
+                    src/query src/topic src/qos src/workload tests bench \
+                    examples
 run_clang_tidy
 
 if [[ $FAILED -eq 0 ]]; then

@@ -154,6 +154,14 @@ Result<SegmentHandlePtr> AStoreClient::OpenSegment(SegmentId id) {
 
 Status AStoreClient::Append(const SegmentHandlePtr& handle, Slice data,
                             uint64_t* offset_out) {
+  // QoS admission happens strictly before any handle lock (see the
+  // qos.* -> astore.handle order contracts): both limiter waits park
+  // through the virtual clock.
+  qos::Ticket ticket;
+  if (options_.admission != nullptr) {
+    VEDB_ASSIGN_OR_RETURN(
+        ticket, options_.admission->Admit(options_.tenant, data.size()));
+  }
   uint64_t offset;
   {
     // Reserve the cursor under a short lock; the RDMA fan-out happens
@@ -177,6 +185,11 @@ Status AStoreClient::Append(const SegmentHandlePtr& handle, Slice data,
 
 Status AStoreClient::WriteAt(const SegmentHandlePtr& handle, uint64_t offset,
                              Slice data) {
+  qos::Ticket ticket;
+  if (options_.admission != nullptr) {
+    VEDB_ASSIGN_OR_RETURN(
+        ticket, options_.admission->Admit(options_.tenant, data.size()));
+  }
   {
     vedb::MutexLock lk(&handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");
@@ -349,6 +362,11 @@ Status AStoreClient::VerifyPersisted(const SegmentHandlePtr& handle,
 
 Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
                           uint64_t len, char* out) {
+  qos::Ticket ticket;
+  if (options_.admission != nullptr) {
+    VEDB_ASSIGN_OR_RETURN(
+        ticket, options_.admission->Admit(options_.tenant, len));
+  }
   {
     vedb::MutexLock lk(&handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");

@@ -25,6 +25,7 @@
 #include "net/rdma.h"
 #include "net/rpc.h"
 #include "obs/metrics.h"
+#include "qos/admission.h"
 #include "sim/env.h"
 
 namespace vedb::astore {
@@ -125,6 +126,17 @@ class AStoreClient {
     bool enforce_lease = true;
     /// Transparent retry/backoff/deadline behaviour (see RetryPolicy).
     RetryPolicy retry;
+    /// Per-tenant QoS admission (nullptr = unmetered, the default). When
+    /// set, Append/WriteAt/Read charge `tenant` for the data bytes before
+    /// doing any work: the token bucket paces the tenant to its configured
+    /// rate and the grouped memory limiter bounds its in-flight bytes, so
+    /// one flooding tenant queues behind its own budget instead of the
+    /// shared PMem servers. CM control traffic (routes, leases) is
+    /// deliberately NOT admitted — throttling lease renewal would let a
+    /// rate-limited tenant lose its own lease.
+    qos::AdmissionController* admission = nullptr;
+    /// Tenant name charged by `admission`; must be registered there.
+    std::string tenant;
   };
 
   AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,

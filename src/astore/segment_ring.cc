@@ -14,11 +14,14 @@ SegmentRing::SegmentRing(AStoreClient* client, Options options,
     : client_(client),
       options_(options),
       segments_(std::move(segments)),
-      slot_start_lsn_(segments_.size(), 0) {
+      slot_start_lsn_(segments_.size(), 0),
+      slot_last_lsn_(segments_.size(), 0),
+      slot_used_(segments_.size(), false) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   appends_ = reg.GetCounter("astore.ring.appends");
   append_ns_ = reg.GetHistogram("astore.ring.append_ns");
   replacements_ = reg.GetCounter("astore.ring.replacements");
+  trims_ = reg.GetCounter("astore.ring.trims");
 }
 
 std::string SegmentRing::EncodeHeader(SegmentStatus status,
@@ -98,6 +101,8 @@ Status SegmentRing::ReplaceSegmentSlot(size_t idx,
   if (segments_[idx] == broken) {
     segments_[idx] = std::move(fresh);
     slot_start_lsn_[idx] = 0;
+    slot_last_lsn_[idx] = 0;
+    slot_used_[idx] = false;
     replaced_++;
     replacements_->Add(1);
     if (idx == cur_idx_) {
@@ -110,6 +115,13 @@ Status SegmentRing::ReplaceSegmentSlot(size_t idx,
 
 Result<SegmentRing::Reservation> SegmentRing::Reserve(uint64_t lsn,
                                                       size_t payload_size) {
+  // API-boundary validation: an empty payload would frame as a zero-length
+  // record, which the recovery scan cannot distinguish from the
+  // end-of-durable-log sentinel — callers used to be trusted not to do
+  // this; now it is a typed error here.
+  if (payload_size == 0) {
+    return Status::InvalidArgument("zero-length record");
+  }
   const size_t frame_size = payload_size + 16;  // len + lsn + crc framing
   if (frame_size > options_.segment_size - kHeaderSize) {
     return Status::InvalidArgument("record larger than a segment");
@@ -123,10 +135,16 @@ Result<SegmentRing::Reservation> SegmentRing::Reserve(uint64_t lsn,
   sim::RaceAnnotate(&cur_offset_, sizeof(cur_offset_), /*is_write=*/true,
                     "SegmentRing::Reserve");
   if (cur_offset_ + frame_size > options_.segment_size) {
-    // Advance the ring: freeze the current slot, recycle the next.
+    // Advance the ring: freeze the current slot, recycle the next. Checked
+    // before any cursor mutation so a refused reservation leaves the ring
+    // exactly as it was.
+    const size_t next_idx = (cur_idx_ + 1) % segments_.size();
+    if (options_.forbid_overwrite && slot_used_[next_idx]) {
+      return Status::NoSpace("ring full; trim before appending");
+    }
     r.to_mark_full = segments_[cur_idx_];
     r.full_start_lsn = slot_start_lsn_[cur_idx_];
-    cur_idx_ = (cur_idx_ + 1) % segments_.size();
+    cur_idx_ = next_idx;
     cur_offset_ = kHeaderSize;
     cur_initialized_ = false;
   }
@@ -134,6 +152,8 @@ Result<SegmentRing::Reservation> SegmentRing::Reserve(uint64_t lsn,
   r.seg = segments_[cur_idx_];
   r.offset = cur_offset_;
   cur_offset_ += frame_size;
+  slot_used_[cur_idx_] = true;
+  slot_last_lsn_[cur_idx_] = lsn;
   if (!cur_initialized_) {
     // "Sets its header to the start LSN of the current REDO log."
     r.init_header = true;
@@ -141,6 +161,57 @@ Result<SegmentRing::Reservation> SegmentRing::Reserve(uint64_t lsn,
     slot_start_lsn_[cur_idx_] = lsn;
   }
   return r;
+}
+
+Result<int> SegmentRing::TrimBefore(uint64_t trim_lsn) {
+  // Snapshot the freeable slots under the lock, do the I/O outside it.
+  struct Victim {
+    size_t idx;
+    SegmentHandlePtr seg;
+  };
+  std::vector<Victim> victims;
+  {
+    vedb::MutexLock lk(&mu_);
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      if (i == cur_idx_) continue;  // the open slot is never trimmed
+      if (slot_used_[i] && slot_last_lsn_[i] < trim_lsn) {
+        victims.push_back(Victim{i, segments_[i]});
+      }
+    }
+  }
+  int freed = 0;
+  for (const Victim& v : victims) {
+    // Pre-create the replacement so the ring never shrinks, then free the
+    // old segment cluster-wide through the CM delete protocol.
+    VEDB_ASSIGN_OR_RETURN(
+        SegmentHandlePtr fresh,
+        client_->CreateSegment(options_.segment_size, options_.replication));
+    VEDB_RETURN_IF_ERROR(
+        client_->WriteAt(fresh, 0, EncodeHeader(SegmentStatus::kEmpty, 0)));
+    VEDB_RETURN_IF_ERROR(client_->Delete(v.seg));
+    bool swapped = false;
+    {
+      vedb::MutexLock lk(&mu_);
+      sim::RaceAnnotate(&segments_, sizeof(segments_), /*is_write=*/true,
+                        "SegmentRing::TrimBefore");
+      if (segments_[v.idx] == v.seg) {  // not concurrently replaced
+        segments_[v.idx] = fresh;
+        slot_start_lsn_[v.idx] = 0;
+        slot_last_lsn_[v.idx] = 0;
+        slot_used_[v.idx] = false;
+        trimmed_++;
+        trims_->Add(1);
+        freed++;
+        swapped = true;
+      }
+    }
+    if (!swapped) {
+      // discard-ok: the slot was concurrently replaced; drop the spare
+      // segment rather than leak it, tolerating a failed delete.
+      (void)client_->Delete(fresh);
+    }
+  }
+  return freed;
 }
 
 Status SegmentRing::CommitReserved(const Reservation& reservation,
@@ -220,7 +291,8 @@ Result<uint64_t> SegmentRing::ScanSegment(AStoreClient* client,
                                           const SegmentHandlePtr& seg,
                                           uint64_t from_lsn,
                                           uint64_t start_lsn,
-                                          std::vector<LogRecord>* out) {
+                                          std::vector<LogRecord>* out,
+                                          std::vector<RecordLocation>* locs) {
   // Read the whole data area once, then parse frames.
   const uint64_t data_size = seg->size() - kHeaderSize;
   std::string buf(data_size, '\0');
@@ -228,6 +300,7 @@ Result<uint64_t> SegmentRing::ScanSegment(AStoreClient* client,
 
   uint64_t next_lsn = 0;
   uint64_t prev_lsn = 0;
+  uint64_t offset = kHeaderSize;  // frame offset within the segment
   Slice in(buf);
   while (in.size() >= 16) {
     const uint32_t len = DecodeFixed32(in.data());
@@ -241,9 +314,13 @@ Result<uint64_t> SegmentRing::ScanSegment(AStoreClient* client,
     if (lsn < start_lsn || (prev_lsn != 0 && lsn <= prev_lsn)) break;
     if (lsn >= from_lsn && out != nullptr) {
       out->push_back(LogRecord{lsn, std::string(in.data() + 12, len)});
+      if (locs != nullptr) {
+        locs->push_back(RecordLocation{lsn, seg->id(), offset, len});
+      }
     }
     prev_lsn = lsn;
     next_lsn = lsn + 1;
+    offset += 16 + len;
     in.RemovePrefix(16 + len);
   }
   return next_lsn;
@@ -353,13 +430,25 @@ Result<SegmentRing::Recovered> SegmentRing::Recover(
     VEDB_ASSIGN_OR_RETURN(
         uint64_t seg_next,
         ScanSegment(client, o->seg, from_lsn, o->start_lsn,
-                    &result.records));
+                    &result.records, &result.locations));
     result.next_lsn = std::max(result.next_lsn, seg_next);
   }
-  std::sort(result.records.begin(), result.records.end(),
-            [](const LogRecord& a, const LogRecord& b) {
-              return a.lsn < b.lsn;
-            });
+  // Keep records and their locations parallel while ordering by LSN.
+  std::vector<size_t> order(result.records.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return result.records[a].lsn < result.records[b].lsn;
+  });
+  std::vector<LogRecord> records;
+  std::vector<RecordLocation> locations;
+  records.reserve(order.size());
+  locations.reserve(order.size());
+  for (size_t i : order) {
+    records.push_back(std::move(result.records[i]));
+    locations.push_back(result.locations[i]);
+  }
+  result.records = std::move(records);
+  result.locations = std::move(locations);
   return result;
 }
 

@@ -467,6 +467,14 @@ const Snapshot::CounterSample* Snapshot::FindCounter(
   return nullptr;
 }
 
+const Snapshot::GaugeSample* Snapshot::FindGauge(
+    const std::string& name, const LabelSet& labels) const {
+  for (const auto& g : gauges) {
+    if (g.name == name && g.labels == labels) return &g;
+  }
+  return nullptr;
+}
+
 const Snapshot::HistogramSample* Snapshot::FindHistogram(
     const std::string& name, const LabelSet& labels) const {
   for (const auto& h : histograms) {

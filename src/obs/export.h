@@ -66,6 +66,8 @@ struct Snapshot {
   /// canonical (sorted by key).
   const CounterSample* FindCounter(const std::string& name,
                                    const LabelSet& labels = {}) const;
+  const GaugeSample* FindGauge(const std::string& name,
+                               const LabelSet& labels = {}) const;
   const HistogramSample* FindHistogram(const std::string& name,
                                        const LabelSet& labels = {}) const;
 

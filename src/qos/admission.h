@@ -1,0 +1,144 @@
+// Per-tenant admission control for the AStore client path: a deterministic
+// token-bucket rate limiter (bytes/sec with burst credit) in front of a
+// grouped memory limiter (in-flight append bytes per tenant within a shared
+// pool). Admit() charges both and hands back a move-only Ticket that
+// returns the in-flight bytes on destruction, so admission brackets exactly
+// the operation's lifetime.
+//
+// Both waits go through the virtual clock with no lock held, which is why
+// the declared order contracts place every qos.* lock class strictly before
+// astore.* handle locks: admitting while holding an astore lock would stall
+// the stack behind a throttled tenant.
+//
+// Exported state (per tenant, see obs Snapshot schema):
+//   qos.throttle{tenant}        rate-limiter delays (counter)
+//   qos.throttle_wait_ns{tenant} delay distribution (histogram)
+//   qos.admitted_bytes{tenant}  bytes past admission (counter)
+//   qos.rejected{tenant}        fail-fast rejections (counter)
+//   qos.tokens{tenant}          bucket level after last admit (gauge)
+//   qos.inflight_bytes{tenant}  bytes currently in flight (gauge)
+//   qos.queued_bytes{tenant}    bytes parked on the memory limiter (gauge)
+
+#ifndef VEDB_QOS_ADMISSION_H_
+#define VEDB_QOS_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "qos/memory_limiter.h"
+#include "qos/token_bucket.h"
+#include "sim/clock.h"
+
+namespace vedb::qos {
+
+/// Per-tenant limits. Zeroes disable the respective limiter.
+struct TenantConfig {
+  /// Sustained append/read bandwidth; 0 = unlimited.
+  uint64_t rate_bytes_per_sec = 0;
+  /// Instantaneous burst allowance for the token bucket.
+  uint64_t burst_bytes = 256 * kKiB;
+  /// Cap on this tenant's in-flight bytes; 0 = bounded only by the shared
+  /// pool.
+  uint64_t max_inflight_bytes = 1 * kMiB;
+};
+
+class AdmissionController;
+
+/// Move-only receipt for admitted bytes; releases them on destruction.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&& o) noexcept { *this = std::move(o); }
+  Ticket& operator=(Ticket&& o) noexcept {
+    Release();
+    controller_ = o.controller_;
+    tenant_ = o.tenant_;
+    bytes_ = o.bytes_;
+    o.controller_ = nullptr;
+    return *this;
+  }
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+  ~Ticket() { Release(); }
+
+  uint64_t bytes() const { return bytes_; }
+  bool active() const { return controller_ != nullptr; }
+
+  /// Returns the in-flight bytes early (idempotent).
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  Ticket(AdmissionController* controller, const std::string* tenant,
+         uint64_t bytes)
+      : controller_(controller), tenant_(tenant), bytes_(bytes) {}
+
+  AdmissionController* controller_ = nullptr;
+  const std::string* tenant_ = nullptr;  // stable: owned by the controller
+  uint64_t bytes_ = 0;
+};
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Shared in-flight pool across all tenants.
+    uint64_t total_inflight_bytes = 8 * kMiB;
+  };
+
+  explicit AdmissionController(sim::VirtualClock* clock)
+      : AdmissionController(clock, Options()) {}
+  AdmissionController(sim::VirtualClock* clock, const Options& options);
+
+  /// Declares a tenant. Must be called before Admit() for that tenant;
+  /// re-registration is AlreadyExists (limits are immutable once handed to
+  /// running clients).
+  Status RegisterTenant(const std::string& tenant, const TenantConfig& config);
+
+  /// Admits `bytes` for `tenant`: waits out the token bucket (counting a
+  /// throttle event when it delays), then reserves in-flight memory. Blocks
+  /// only through the virtual clock, with no lock held across either wait.
+  /// The Ticket releases the memory reservation when destroyed.
+  Result<Ticket> Admit(const std::string& tenant, uint64_t bytes);
+
+  /// Test/introspection helpers.
+  uint64_t ThrottleCount(const std::string& tenant) const;
+  uint64_t InflightBytes(const std::string& tenant) const;
+
+ private:
+  friend class Ticket;
+
+  struct Tenant {
+    explicit Tenant(sim::VirtualClock* clock, std::string tenant_name,
+                    const TenantConfig& config);
+    const std::string name;
+    TokenBucket bucket;
+    obs::Counter* throttles;
+    obs::Counter* admitted_bytes;
+    obs::Counter* rejected;
+    obs::HistogramMetric* throttle_wait_ns;
+    obs::Gauge* tokens_gauge;
+    obs::Gauge* inflight_gauge;
+    obs::Gauge* queued_gauge;
+  };
+
+  void ReleaseBytes(const std::string& tenant, uint64_t bytes);
+  Tenant* FindTenant(const std::string& tenant) const;
+
+  sim::VirtualClock* clock_;
+  GroupedMemoryLimiter memory_;
+
+  mutable vedb::Mutex mu_{"qos.admission"};
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_ GUARDED_BY(mu_);
+};
+
+}  // namespace vedb::qos
+
+#endif  // VEDB_QOS_ADMISSION_H_

@@ -1,0 +1,79 @@
+#include "qos/memory_limiter.h"
+
+#include <algorithm>
+
+namespace vedb::qos {
+
+void GroupedMemoryLimiter::RegisterGroup(const std::string& group,
+                                         uint64_t max_inflight_bytes) {
+  vedb::MutexLock lk(&mu_);
+  groups_[group].cap = max_inflight_bytes;
+}
+
+Status GroupedMemoryLimiter::Acquire(const std::string& group,
+                                     uint64_t bytes) {
+  vedb::MutexLock lk(&mu_);
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status::InvalidArgument("unknown memory group: " + group);
+  }
+  Group& g = it->second;
+  if ((g.cap != 0 && bytes > g.cap) || bytes > options_.total_bytes) {
+    // Would park forever even with the pool drained.
+    return Status::InvalidArgument("request exceeds memory limit");
+  }
+  if (g.wait_queue.empty() && FitsLocked(g, bytes)) {
+    g.inflight += bytes;
+    total_inflight_ += bytes;
+    return Status::OK();
+  }
+  // Park in per-group FIFO order: the head of the queue is granted first,
+  // so a large request is not starved by smaller latecomers of its own
+  // group. Other groups only contend for the shared total.
+  const uint64_t seq = next_seq_++;
+  g.wait_queue.push_back(seq);
+  g.queued += bytes;
+  cond_.Wait(&mu_, [&] {
+    return g.wait_queue.front() == seq &&
+           (g.cap == 0 || g.inflight + bytes <= g.cap) &&
+           total_inflight_ + bytes <= options_.total_bytes;
+  });
+  g.wait_queue.pop_front();
+  g.queued -= bytes;
+  g.inflight += bytes;
+  total_inflight_ += bytes;
+  // The next queued waiter (this group or another) may fit now that the
+  // queue head moved.
+  cond_.NotifyAll();
+  return Status::OK();
+}
+
+void GroupedMemoryLimiter::Release(const std::string& group, uint64_t bytes) {
+  {
+    vedb::MutexLock lk(&mu_);
+    auto it = groups_.find(group);
+    if (it == groups_.end()) return;
+    it->second.inflight -= std::min(it->second.inflight, bytes);
+    total_inflight_ -= std::min(total_inflight_, bytes);
+  }
+  cond_.NotifyAll();
+}
+
+uint64_t GroupedMemoryLimiter::InflightBytes(const std::string& group) const {
+  vedb::MutexLock lk(&mu_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.inflight;
+}
+
+uint64_t GroupedMemoryLimiter::QueuedBytes(const std::string& group) const {
+  vedb::MutexLock lk(&mu_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.queued;
+}
+
+uint64_t GroupedMemoryLimiter::TotalInflightBytes() const {
+  vedb::MutexLock lk(&mu_);
+  return total_inflight_;
+}
+
+}  // namespace vedb::qos

@@ -1,0 +1,76 @@
+// Grouped memory limiter: bounds in-flight bytes per group (tenant) inside
+// one shared pool, in the style of ydb's grouped memory service. Each group
+// has a hard cap; the pool has a total. Acquire() blocks through the
+// virtual clock until both fit, keeping per-group FIFO order (a large
+// request cannot be starved by a stream of small ones from its own group),
+// while groups never queue behind each other's caps — only behind the
+// shared total. Requests that could never fit fail fast with
+// InvalidArgument instead of parking forever.
+
+#ifndef VEDB_QOS_MEMORY_LIMITER_H_
+#define VEDB_QOS_MEMORY_LIMITER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/units.h"
+#include "sim/clock.h"
+
+namespace vedb::qos {
+
+class GroupedMemoryLimiter {
+ public:
+  struct Options {
+    /// Shared pool bounding the sum of all groups' in-flight bytes.
+    uint64_t total_bytes = 8 * kMiB;
+  };
+
+  GroupedMemoryLimiter(sim::VirtualClock* clock, const Options& options)
+      : options_(options), cond_(clock, "qos.memory") {}
+
+  /// Declares a group with its in-flight cap (0 = bounded only by the
+  /// shared total). Re-registration updates the cap.
+  void RegisterGroup(const std::string& group, uint64_t max_inflight_bytes);
+
+  /// Blocks (virtual time) until `bytes` fit under both the group cap and
+  /// the shared total, then charges them. FIFO per group. Fails fast with
+  /// InvalidArgument for unknown groups and for requests larger than either
+  /// limit. Must not be called with any lock held ordered after
+  /// "qos.memory" (the wait parks through the virtual clock).
+  Status Acquire(const std::string& group, uint64_t bytes);
+
+  /// Returns `bytes` to the pool and wakes waiters.
+  void Release(const std::string& group, uint64_t bytes);
+
+  uint64_t InflightBytes(const std::string& group) const;
+  uint64_t QueuedBytes(const std::string& group) const;
+  uint64_t TotalInflightBytes() const;
+
+ private:
+  struct Group {
+    uint64_t cap = 0;  // 0 = no per-group cap
+    uint64_t inflight = 0;
+    uint64_t queued = 0;               // bytes of parked Acquires
+    std::deque<uint64_t> wait_queue;   // Acquire seqs, FIFO
+  };
+
+  bool FitsLocked(const Group& g, uint64_t bytes) const REQUIRES(mu_) {
+    return (g.cap == 0 || g.inflight + bytes <= g.cap) &&
+           total_inflight_ + bytes <= options_.total_bytes;
+  }
+
+  const Options options_;
+  mutable vedb::Mutex mu_{"qos.memory"};
+  sim::VirtualCondition cond_;
+  std::map<std::string, Group> groups_ GUARDED_BY(mu_);
+  uint64_t total_inflight_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace vedb::qos
+
+#endif  // VEDB_QOS_MEMORY_LIMITER_H_

@@ -107,6 +107,19 @@ uint64_t LockOrderGraph::edge_count() const {
   return edges_.size();
 }
 
+void LockOrderGraph::RegisterContract(const std::string& before,
+                                      const std::string& after) {
+  if (before == after) return;  // same-class nesting is not an order edge
+  LockOrderGraph& g = Instance();
+  std::lock_guard<std::mutex> lk(g.mu_);
+  g.contracts_.insert({before, after});
+}
+
+uint64_t LockOrderGraph::contract_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return contracts_.size();
+}
+
 std::vector<std::vector<std::string>> LockOrderGraph::CyclesLocked() const {
   // Deterministic Tarjan SCC: nodes visited in sorted order, adjacency
   // iterated in sorted order (both fall out of the ordered edge map).
@@ -114,6 +127,15 @@ std::vector<std::vector<std::string>> LockOrderGraph::CyclesLocked() const {
   for (const auto& [key, edge] : edges_) {
     adj[key.first].push_back(key.second);
     adj[key.second];  // ensure the target exists as a node
+  }
+  // Declared contracts are edges too: holding `before` may take `after`.
+  // A runtime acquisition in the reverse direction then closes a cycle.
+  for (const auto& [before, after] : contracts_) {
+    std::vector<std::string>& out = adj[before];
+    if (std::find(out.begin(), out.end(), after) == out.end()) {
+      out.push_back(after);
+    }
+    adj[after];
   }
 
   struct NodeState {
@@ -178,12 +200,16 @@ std::string LockOrderGraph::Report() const {
   const auto cycles = CyclesLocked();
   std::ostringstream out;
   out << "== lock-order report ==\n";
-  out << "edges: " << edges_.size() << "  cycles: " << cycles.size() << "\n";
+  out << "edges: " << edges_.size() << "  contracts: " << contracts_.size()
+      << "  cycles: " << cycles.size() << "\n";
   for (const auto& [key, edge] : edges_) {
     out << "edge " << key.first << " -> " << key.second << "\n";
     for (const std::string& s : edge.sites) {
       out << "  " << s << "\n";
     }
+  }
+  for (const auto& [before, after] : contracts_) {
+    out << "contract " << before << " -> " << after << "\n";
   }
   for (const auto& scc : cycles) {
     out << "cycle among:";
@@ -198,6 +224,11 @@ std::string LockOrderGraph::Report() const {
       out << "  " << key.first << " -> " << key.second << "\n";
       for (const std::string& s : edge.sites) {
         out << "    " << s << "\n";
+      }
+    }
+    for (const auto& [before, after] : contracts_) {
+      if (members.count(before) != 0 && members.count(after) != 0) {
+        out << "  " << before << " -> " << after << " [contract]\n";
       }
     }
   }

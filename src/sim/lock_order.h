@@ -59,8 +59,24 @@ class LockOrderGraph {
   void OnAcquire(const void* mu, const char* cls, const char* file, int line);
   void OnRelease(const void* mu);
 
-  /// Number of distinct ordered edges recorded since Enable().
+  /// Declares the one-way order contract `before` -> `after` (e.g.
+  /// "topic.partition" -> "astore.ring"): code may acquire `after` while
+  /// holding `before`, never the reverse. Contract edges participate in the
+  /// cycle search alongside observed edges, so a single runtime acquisition
+  /// in the forbidden direction closes a cycle and fails the gate — the
+  /// inversion is caught even if no run ever executes both orders. Contracts
+  /// survive Enable()'s reset (they are declarations, not observations) and
+  /// registration is idempotent, so subsystem constructors can declare their
+  /// contracts unconditionally.
+  static void RegisterContract(const std::string& before,
+                               const std::string& after);
+
+  /// Number of distinct ordered edges recorded since Enable(). Observed
+  /// edges only; declared contracts are counted by contract_count().
   uint64_t edge_count() const;
+
+  /// Number of registered order contracts (process lifetime).
+  uint64_t contract_count() const;
 
   /// Number of strongly connected components with more than one lock class
   /// — i.e. groups of classes whose acquisition orders form a cycle.
@@ -92,6 +108,8 @@ class LockOrderGraph {
   mutable std::mutex mu_;
   std::atomic<uint64_t> epoch_gen_{1};  // bumped on Enable(); resets stacks
   std::map<std::pair<std::string, std::string>, Edge> edges_;
+  // Declared one-way contracts; NOT cleared by ResetLocked().
+  std::set<std::pair<std::string, std::string>> contracts_;
 };
 
 /// Installs the sim runtime's MutexObserver (idempotent): vedb::Mutex

@@ -1,0 +1,81 @@
+#include "topic/record.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace vedb::topic {
+
+namespace {
+
+void AppendCrc(std::string* rec) {
+  PutFixed32(rec, MaskCrc(Crc32c(Slice(*rec))));
+}
+
+}  // namespace
+
+std::string EncodeOffsetCommit(uint64_t partition, const std::string& group,
+                               uint64_t next_lsn) {
+  std::string rec;
+  PutFixed32(&rec, kMetaMagic);
+  rec.push_back(static_cast<char>(MetaType::kOffsetCommit));
+  PutFixed64(&rec, partition);
+  PutFixed16(&rec, static_cast<uint16_t>(group.size()));
+  rec.append(group);
+  PutFixed64(&rec, next_lsn);
+  AppendCrc(&rec);
+  return rec;
+}
+
+std::string EncodeTrim(uint64_t partition, uint64_t trim_lsn) {
+  std::string rec;
+  PutFixed32(&rec, kMetaMagic);
+  rec.push_back(static_cast<char>(MetaType::kTrim));
+  PutFixed64(&rec, partition);
+  PutFixed64(&rec, trim_lsn);
+  AppendCrc(&rec);
+  return rec;
+}
+
+Result<MetaRecord> DecodeMetaRecord(Slice in) {
+  if (in.size() < 4 + 1 + 8 + 4) {
+    return Status::Corruption("meta record too short");
+  }
+  const uint32_t stored =
+      UnmaskCrc(DecodeFixed32(in.data() + in.size() - 4));
+  if (stored != Crc32c(0, in.data(), in.size() - 4)) {
+    return Status::Corruption("meta record crc mismatch");
+  }
+  if (DecodeFixed32(in.data()) != kMetaMagic) {
+    return Status::Corruption("bad meta record magic");
+  }
+  MetaRecord rec;
+  rec.type = static_cast<MetaType>(static_cast<uint8_t>(in.data()[4]));
+  rec.partition = DecodeFixed64(in.data() + 5);
+  const char* p = in.data() + 13;
+  const char* crc_start = in.data() + in.size() - 4;
+  switch (rec.type) {
+    case MetaType::kOffsetCommit: {
+      if (crc_start - p < 2) {
+        return Status::Corruption("truncated offset commit");
+      }
+      const uint16_t group_len = DecodeFixed16(p);
+      p += 2;
+      if (crc_start - p != group_len + 8) {
+        return Status::Corruption("offset commit length mismatch");
+      }
+      rec.group.assign(p, group_len);
+      rec.next_lsn = DecodeFixed64(p + group_len);
+      return rec;
+    }
+    case MetaType::kTrim: {
+      if (crc_start - p != 8) {
+        return Status::Corruption("trim record length mismatch");
+      }
+      rec.trim_lsn = DecodeFixed64(p);
+      return rec;
+    }
+  }
+  return Status::Corruption("unknown meta record type");
+}
+
+}  // namespace vedb::topic

@@ -1,0 +1,53 @@
+// Self-validating persistent meta records for pub/sub topics. Consumer
+// offsets and retention watermarks are not server-side soft state: they are
+// appended to a topic's meta SegmentRing as typed records carrying their own
+// magic and CRC (Tsai & Zhang-style crash-consistent metadata), and replayed
+// last-wins on recovery. The CRC covers everything before it, so a replayed
+// record is either intact or rejected as a whole — there is no partially
+// applied offset.
+//
+// Wire layout (little-endian, inside one SegmentRing record payload):
+//   offset commit: [u32 magic 'TOPM'][u8 type=1][u64 partition]
+//                  [u16 group_len][group bytes][u64 next_lsn][u32 crc]
+//   trim:          [u32 magic 'TOPM'][u8 type=2][u64 partition]
+//                  [u64 trim_lsn][u32 crc]
+
+#ifndef VEDB_TOPIC_RECORD_H_
+#define VEDB_TOPIC_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace vedb::topic {
+
+constexpr uint32_t kMetaMagic = 0x4D504F54;  // "TOPM"
+
+enum class MetaType : uint8_t {
+  kOffsetCommit = 1,
+  kTrim = 2,
+};
+
+/// One decoded meta record. For kOffsetCommit `group`/`next_lsn` are set;
+/// for kTrim `trim_lsn` is.
+struct MetaRecord {
+  MetaType type = MetaType::kOffsetCommit;
+  uint64_t partition = 0;
+  std::string group;
+  uint64_t next_lsn = 0;   // first LSN the group has NOT consumed
+  uint64_t trim_lsn = 0;   // records below this are trimmed
+};
+
+std::string EncodeOffsetCommit(uint64_t partition, const std::string& group,
+                               uint64_t next_lsn);
+std::string EncodeTrim(uint64_t partition, uint64_t trim_lsn);
+
+/// Validates magic + CRC and decodes. Corruption on any mismatch.
+Result<MetaRecord> DecodeMetaRecord(Slice in);
+
+}  // namespace vedb::topic
+
+#endif  // VEDB_TOPIC_RECORD_H_

@@ -1,0 +1,172 @@
+// Partitioned, persistent pub/sub topics layered on the AStore SegmentRing.
+//
+// Each partition is an ordered log: Produce() assigns the next per-partition
+// LSN under the partition lock (so ring order matches LSN order), commits
+// the framed record through SegmentRing::CommitReserved outside the lock,
+// and remembers the record's physical location in an in-memory locator
+// index. Fetch() reads records in place over RDMA and re-validates every
+// frame's CRC (self-validating reads — the consumer never trusts a cached
+// locator over the bytes).
+//
+// Consumer-group offsets and retention watermarks are durable log records,
+// not soft state: CommitOffset()/TrimTo() append typed, CRC-carrying meta
+// records (topic/record.h) to a dedicated meta ring and only then update
+// memory. Recovery replays the meta ring last-wins, so a crash between the
+// durable append and the ack replays to exactly the committed position —
+// the offset is exactly-once-visible.
+//
+// Retention: TrimTo() persists the watermark first, then frees every data
+// segment wholly below it through the CM delete protocol
+// (SegmentRing::TrimBefore). Data rings run with forbid_overwrite, so a
+// topic that outruns its retention gets NoSpace instead of silently eating
+// its own tail.
+//
+// Lock classes (order contracts registered against astore.*):
+//   topic.partition -> astore.ring   (LSN assignment holds the partition
+//                                     lock across Reserve only; all I/O is
+//                                     outside)
+//   topic.meta      -> astore.ring   (same, for the meta ring)
+
+#ifndef VEDB_TOPIC_TOPIC_H_
+#define VEDB_TOPIC_TOPIC_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "astore/client.h"
+#include "astore/segment_ring.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace vedb::topic {
+
+struct TopicOptions {
+  std::string name = "topic";
+  int partitions = 1;
+  /// Data ring per partition. forbid_overwrite is forced on; size for the
+  /// expected retention window.
+  astore::SegmentRing::Options data_ring = {256 * kKiB, 8, 3, true};
+  /// Meta ring shared by all partitions (offset commits + trim records).
+  /// Wraps last-wins; size it so a full lap always contains every group's
+  /// latest commit.
+  astore::SegmentRing::Options meta_ring = {64 * kKiB, 4, 3, false};
+};
+
+/// One consumed message.
+struct Message {
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+class Topic {
+ public:
+  /// Pre-creates all rings (partition data rings + the meta ring).
+  static Result<std::unique_ptr<Topic>> Create(astore::AStoreClient* client,
+                                               const TopicOptions& options);
+
+  /// Appends `payload` to `partition` and returns its LSN. NoSpace means
+  /// retention has fallen behind — trim, then retry.
+  Result<uint64_t> Produce(int partition, Slice payload);
+
+  /// Reads up to `max_messages` messages with lsn >= `from_lsn`, in LSN
+  /// order. LSN gaps (failed produces) are skipped. Returns an empty vector
+  /// at end of log.
+  Result<std::vector<Message>> Fetch(int partition, uint64_t from_lsn,
+                                     size_t max_messages);
+
+  /// Durably commits `group`'s consume position (`next_lsn` = first LSN not
+  /// yet consumed) for `partition`, then acks. The record is appended to
+  /// the meta ring BEFORE the in-memory position moves; a crash in between
+  /// replays to the committed position (exactly-once visibility). Fault
+  /// site "topic.offset.ack" fires between the durable append and the ack.
+  Status CommitOffset(const std::string& group, int partition,
+                      uint64_t next_lsn);
+
+  /// The group's committed position (first unconsumed LSN); 1 when the
+  /// group never committed.
+  uint64_t CommittedOffset(const std::string& group, int partition) const;
+
+  /// Durably advances the partition's trim watermark to `trim_lsn`, then
+  /// frees every data segment wholly below it via the CM protocol. Records
+  /// below the watermark disappear from Fetch() immediately.
+  Status TrimTo(int partition, uint64_t trim_lsn);
+
+  uint64_t TrimWatermark(int partition) const;
+  uint64_t NextLsn(int partition) const;
+  int partitions() const { return static_cast<int>(partitions_.size()); }
+  const std::string& name() const { return options_.name; }
+
+  /// Everything needed to re-attach after a crash: the segment ids of each
+  /// ring. A real deployment would keep this in the CM; tests capture it
+  /// from the live topic.
+  struct Manifest {
+    std::vector<std::vector<astore::SegmentId>> partition_segments;
+    std::vector<astore::SegmentId> meta_segments;
+  };
+  Manifest GetManifest() const;
+
+  /// Rebuilds a topic from persisted state: scans each partition's old
+  /// segments into the locator index (records stay readable in place),
+  /// replays the meta ring last-wins into offsets and trim watermarks, and
+  /// opens fresh rings for new appends. Old segments are readable but no
+  /// longer ring-managed, so they are freed only by a future TrimTo lap
+  /// over post-recovery segments.
+  static Result<std::unique_ptr<Topic>> Recover(astore::AStoreClient* client,
+                                                const Manifest& manifest,
+                                                const TopicOptions& options);
+
+ private:
+  /// Where one record lives (for in-place consumption).
+  struct Locator {
+    astore::SegmentHandlePtr seg;
+    uint64_t offset = 0;        // frame offset within the segment
+    uint32_t payload_size = 0;
+  };
+
+  struct Partition {
+    mutable vedb::Mutex mu{"topic.partition"};
+    std::unique_ptr<astore::SegmentRing> ring;  // set once; ring is MT-safe
+    uint64_t next_lsn GUARDED_BY(mu) = 1;
+    uint64_t trim_lsn GUARDED_BY(mu) = 0;
+    std::map<uint64_t, Locator> index GUARDED_BY(mu);
+  };
+
+  Topic(astore::AStoreClient* client, TopicOptions options);
+
+  Partition* GetPartition(int partition) const;
+  /// Appends one meta record (LSN assignment + reservation under
+  /// topic.meta, I/O outside, Busy retried).
+  Status AppendMeta(Slice record);
+
+  astore::AStoreClient* client_;
+  TopicOptions options_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+
+  mutable vedb::Mutex meta_mu_{"topic.meta"};
+  std::unique_ptr<astore::SegmentRing> meta_ring_;  // set once
+  uint64_t meta_next_lsn_ GUARDED_BY(meta_mu_) = 1;
+  /// (group, partition) -> first unconsumed LSN.
+  std::map<std::pair<std::string, uint64_t>, uint64_t> offsets_
+      GUARDED_BY(meta_mu_);
+
+  // Observability (resolved once at construction; labeled {topic: name}).
+  obs::Counter* produces_ = nullptr;
+  obs::Counter* produce_bytes_ = nullptr;
+  obs::HistogramMetric* produce_ns_ = nullptr;
+  obs::Counter* fetches_ = nullptr;
+  obs::Counter* consumed_ = nullptr;
+  obs::HistogramMetric* consume_ns_ = nullptr;
+  obs::Counter* offset_commits_ = nullptr;
+  obs::Counter* trims_ = nullptr;
+  obs::Counter* segments_freed_ = nullptr;
+};
+
+}  // namespace vedb::topic
+
+#endif  // VEDB_TOPIC_TOPIC_H_

@@ -477,6 +477,59 @@ TEST_F(SegmentRingTest, BrokenReplicaTriggersSegmentReplacement) {
   EXPECT_GE(ring.value()->replaced_count(), 1u);
 }
 
+TEST_F(SegmentRingTest, ZeroLengthAndOversizedAppendsAreRejected) {
+  auto ring = SegmentRing::Create(client_.get(), RingOptions());
+  ASSERT_TRUE(ring.ok());
+  // A zero-length frame is indistinguishable from the end-of-log sentinel
+  // during the recovery scan; the API boundary refuses it outright.
+  Status s = ring.value()->AppendRecord(1, Slice(""));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  // Larger than a segment can ever hold (64 KiB segment minus header and
+  // frame overhead): also a typed error, not a wedged ring.
+  const std::string big(64 * kKiB, 'x');
+  s = ring.value()->AppendRecord(1, Slice(big));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  // Neither rejection consumed ring state: LSN 1 still lands normally.
+  ASSERT_TRUE(ring.value()->AppendRecord(1, Slice("ok")).ok());
+  auto recovered = SegmentRing::Recover(client_.get(), cm_->ListSegments(1),
+                                        1, RingOptions());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->next_lsn, 2u);
+  ASSERT_EQ(recovered->records.size(), 1u);
+  EXPECT_EQ(recovered->records[0].payload, "ok");
+}
+
+TEST_F(SegmentRingTest, ForbidOverwriteReturnsNoSpaceUntilTrimmed) {
+  SegmentRing::Options opts = RingOptions();
+  opts.segment_size = 8 * kKiB;
+  opts.forbid_overwrite = true;
+  auto ring = SegmentRing::Create(client_.get(), opts);
+  ASSERT_TRUE(ring.ok());
+
+  // ~3 records of 2 KiB per 8 KiB segment, 4 segments: the 13th append
+  // would wrap onto slot 0, which still holds records.
+  const std::string payload(2 * kKiB, 'p');
+  uint64_t lsn = 1;
+  Status s = Status::OK();
+  while (s.ok()) {
+    s = ring.value()->AppendRecord(lsn, Slice(payload));
+    if (s.ok()) lsn++;
+  }
+  ASSERT_TRUE(s.IsNoSpace()) << s.ToString();
+  const uint64_t stalled_at = lsn;
+
+  // A refused append leaves the cursor untouched: the same LSN succeeds
+  // after TrimBefore frees the oldest segment through the CM protocol.
+  auto freed = ring.value()->TrimBefore(4);  // slot 0 held LSNs 1..3
+  ASSERT_TRUE(freed.ok()) << freed.status().ToString();
+  EXPECT_EQ(freed.value(), 1);
+  EXPECT_EQ(ring.value()->trimmed_count(), 1u);
+  ASSERT_TRUE(ring.value()->AppendRecord(stalled_at, Slice(payload)).ok());
+
+  // The replacement segment keeps the ring at full size.
+  EXPECT_EQ(ring.value()->segment_ids().size(), 4u);
+}
+
 TEST_F(SegmentRingTest, EmptyRingRecoversToZero) {
   auto ring = SegmentRing::Create(client_.get(), RingOptions());
   ASSERT_TRUE(ring.ok());

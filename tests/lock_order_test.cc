@@ -232,5 +232,52 @@ TEST(LockOrderTest, CmHealthSweepVsClientRefreshKeepsOneGlobalOrder) {
   EXPECT_EQ(graph.CycleCount(), 0u) << graph.Report();
 }
 
+TEST(LockOrderTest, RegisteredContractDetectsInversion) {
+  // A declared one-way contract needs only a SINGLE runtime acquisition in
+  // the forbidden direction to close a cycle — no conforming run required.
+  // Contract edges survive Enable()'s reset deliberately (they are program
+  // facts, not observations), so this test uses names of its own.
+  VirtualClock clock;
+  ScopedGraph g;
+  LockOrderGraph::RegisterContract("ct.x", "ct.y");
+  LockOrderGraph::RegisterContract("ct.x", "ct.x");  // self: ignored
+  vedb::Mutex x("ct.x");
+  vedb::Mutex y("ct.y");
+  {
+    ActorGroup group(&clock);
+    group.Spawn([&] {
+      vedb::MutexLock ly(&y);
+      vedb::MutexLock lx(&x);  // violates ct.x -> ct.y
+    });
+    group.JoinAll();
+  }
+  LockOrderGraph& graph = LockOrderGraph::Instance();
+  EXPECT_GE(graph.contract_count(), 1u);
+  EXPECT_EQ(graph.edge_count(), 1u);  // only ct.y -> ct.x was observed
+  EXPECT_GT(graph.CycleCount(), 0u);
+  const std::string report = graph.Report();
+  EXPECT_NE(report.find("[contract]"), std::string::npos) << report;
+}
+
+TEST(LockOrderTest, ContractConformingOrderStaysClean) {
+  // Same contract (still registered from the previous test — contracts are
+  // process-wide), acquired in the declared direction: no cycle.
+  VirtualClock clock;
+  ScopedGraph g;
+  LockOrderGraph::RegisterContract("ct.x", "ct.y");
+  vedb::Mutex x("ct.x");
+  vedb::Mutex y("ct.y");
+  {
+    ActorGroup group(&clock);
+    group.Spawn([&] {
+      vedb::MutexLock lx(&x);
+      vedb::MutexLock ly(&y);
+    });
+    group.JoinAll();
+  }
+  LockOrderGraph& graph = LockOrderGraph::Instance();
+  EXPECT_EQ(graph.CycleCount(), 0u) << graph.Report();
+}
+
 }  // namespace
 }  // namespace vedb::sim
