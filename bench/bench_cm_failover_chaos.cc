@@ -1,0 +1,92 @@
+// CM-failover chaos bench: runs the seeded control-plane chaos campaign
+// (crash the primary CM mid-workload, partition + heal a standby, revive
+// the old primary) TWICE with the same seed and gates on the acceptance
+// bar — zero errors surfaced to the workload, client retries > 0, at
+// least one failover, no two CMs granting a lease in the same term, and a
+// byte-identical metrics snapshot across the two runs.
+//
+// Exit code is the verdict (0 = PASS) so CI can gate on it; the full
+// registry snapshot of the first run lands in results/.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/chaos.h"
+
+int main(int argc, char** argv) {
+  using namespace vedb;
+  // Scale knob: duration = scale * 100ms. The fault script needs the
+  // election (~300ms in) inside the run, so the floor is 4.
+  const int scale = std::max(4, bench::ArgInt(argc, argv, 4));
+
+  workload::ChaosCampaignOptions opts;
+  opts.duration = static_cast<Duration>(scale) * 100 * kMillisecond;
+  opts.shutdown_at = opts.warmup + opts.duration + 90 * kMillisecond;
+
+  bench::PrintHeader("CM failover chaos: replicated control plane");
+  workload::ChaosCampaignResult first = workload::RunCmFailoverChaos(opts);
+  workload::ChaosCampaignResult second = workload::RunCmFailoverChaos(opts);
+  const bool deterministic =
+      first.snapshot_json == second.snapshot_json &&
+      first.operations == second.operations && first.retries == second.retries;
+
+  bench::PrintRow({"ops", "errors", "retries", "cm_failovers",
+                   "client_rotations", "renew_failures"},
+                  18);
+  bench::PrintRow({std::to_string(first.operations),
+                   std::to_string(first.errors),
+                   std::to_string(first.retries),
+                   std::to_string(first.failovers),
+                   std::to_string(first.client_cm_failovers),
+                   std::to_string(first.lease_renew_failures)},
+                  18);
+  printf("final primary: %s (term %llu round %llu)\n",
+         first.final_primary.c_str(),
+         static_cast<unsigned long long>(first.final_term),
+         static_cast<unsigned long long>(first.final_term >> 16));
+
+  const bool pass = first.Passed() && second.Passed() && deterministic;
+  printf("\nchaos: %s  (errors=%llu retries=%llu failovers=%llu "
+         "double_grant=%s deterministic=%s)\n",
+         pass ? "PASS" : "FAIL",
+         static_cast<unsigned long long>(first.errors),
+         static_cast<unsigned long long>(first.retries),
+         static_cast<unsigned long long>(first.failovers),
+         first.double_grant ? "true" : "false",
+         deterministic ? "true" : "false");
+
+  // WriteBenchResults wants obs::Snapshot objects, but the campaign's
+  // registry died with its world; splice its serialized snapshot into the
+  // standard results document by hand.
+  std::string out = "{\"bench\":\"cm_failover_chaos\",";
+  out += "\"schema_version\":" + std::to_string(obs::Snapshot::kSchemaVersion);
+  out += ",\"chaos_pass\":" + std::string(pass ? "true" : "false");
+  out += ",\"deterministic\":" + std::string(deterministic ? "true" : "false");
+  out += ",\"double_grant\":" + std::string(first.double_grant ? "true" : "false");
+  out += ",\"operations\":" + std::to_string(first.operations);
+  out += ",\"errors\":" + std::to_string(first.errors);
+  out += ",\"retries\":" + std::to_string(first.retries);
+  out += ",\"cm_failovers\":" + std::to_string(first.failovers);
+  out += ",\"client_cm_failovers\":" + std::to_string(first.client_cm_failovers);
+  out += ",\"lease_renew_failures\":" + std::to_string(first.lease_renew_failures);
+  out += ",\"final_primary\":\"" + first.final_primary + "\"";
+  out += ",\"final_term\":" + std::to_string(first.final_term);
+  out += ",\"configs\":[" + first.snapshot_json + "]}";
+  if (!deterministic) {
+    // Leave the second run's snapshot next to the first so a CI failure
+    // can be diffed without rerunning anything.
+    // discard-ok: best-effort debug aid; the bench already fails below
+    (void)obs::WriteResultsFile("results", "bench_cm_failover_chaos_run2.json",
+                                second.snapshot_json);
+  }
+  const Status w =
+      obs::WriteResultsFile("results", "bench_cm_failover_chaos.json", out);
+  if (!w.ok()) {
+    fprintf(stderr, "results export failed: %s\n", w.ToString().c_str());
+    return 1;
+  }
+  return pass ? 0 : 1;
+}

@@ -105,6 +105,32 @@ def check_noisy_neighbor(doc, filename):
            "tenant_a_throttles extra disagrees with the snapshot counter")
 
 
+def check_cm_failover_chaos(doc, filename):
+    """Bench-specific contract for bench_cm_failover_chaos: the chaos
+    acceptance bar must be visible in the results document, and the extras
+    must agree with the embedded snapshot's counters."""
+    for key in ("chaos_pass", "deterministic", "double_grant"):
+        expect(isinstance(doc.get(key), bool), filename,
+               f"missing boolean '{key}'")
+    for key in ("operations", "errors", "retries", "cm_failovers",
+                "client_cm_failovers", "lease_renew_failures", "final_term"):
+        expect(isinstance(doc.get(key), int), filename,
+               f"missing integer '{key}'")
+    expect(isinstance(doc.get("final_primary"), str), filename,
+           "missing string 'final_primary'")
+    snap = doc["configs"][0]
+    expect(snap.get("run_label") == "cm_failover_chaos", filename,
+           "first config must carry run_label 'cm_failover_chaos'")
+    failovers = sum(s["value"] for s in snap.get("counters", [])
+                    if s["name"] == "cm.failovers")
+    expect(failovers == doc["cm_failovers"], filename,
+           "cm_failovers extra disagrees with the snapshot counter")
+    retries = sum(s["value"] for s in snap.get("counters", [])
+                  if s["name"] == "astore.client.retries")
+    expect(retries == doc["retries"], filename,
+           "retries extra disagrees with the snapshot counter")
+
+
 def check_breakdown(bd, path):
     if bd is None:
         return
@@ -136,6 +162,8 @@ def check_file(filename):
         check_qos_labels(snap, f"{filename}.configs[{i}]")
     if doc["bench"] == "topic_noisy_neighbor":
         check_noisy_neighbor(doc, filename)
+    if doc["bench"] == "cm_failover_chaos":
+        check_cm_failover_chaos(doc, filename)
     if "breakdown" in doc:
         check_breakdown(doc["breakdown"], f"{filename}.breakdown")
     if "trace_spans" in doc:

@@ -32,10 +32,10 @@ AStoreClient::AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
     : env_(env),
       rpc_(rpc),
       fabric_(fabric),
-      cm_node_(cm_node),
       client_node_(client_node),
       client_id_(client_id),
       options_(options),
+      cm_endpoints_({cm_node}),
       retry_rng_(0x9e3779b97f4a7c15ull ^ client_id) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   writes_ = reg.GetCounter("astore.client.writes");
@@ -45,6 +45,13 @@ AStoreClient::AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
   read_ns_ = reg.GetHistogram("astore.client.read_ns");
   route_refreshes_ = reg.GetCounter("astore.client.route_refreshes");
   unfreezes_ = reg.GetCounter("astore.client.unfreezes");
+  cm_failovers_ = reg.GetCounter("astore.client.cm_failovers");
+}
+
+void AStoreClient::SetCmEndpoints(std::vector<sim::SimNode*> endpoints) {
+  VEDB_CHECK(!endpoints.empty(), "client needs at least one CM endpoint");
+  cm_endpoints_ = std::move(endpoints);
+  cm_index_.store(0);
 }
 
 bool AStoreClient::Retriable(const Status& s) const {
@@ -75,6 +82,53 @@ void AStoreClient::CountRetry(const char* op, const Status& cause) {
       ->Add(1);
 }
 
+Status AStoreClient::CmCallOnce(const std::string& service, Slice request,
+                                std::string* response, Duration rpc_deadline) {
+  Status s = env_->faults()->MaybeFail("astore.client.cm");
+  const size_t idx = cm_index_.load(std::memory_order_relaxed);
+  sim::SimNode* cm = cm_endpoints_[idx % cm_endpoints_.size()];
+  if (s.ok()) {
+    net::RpcCallOptions opts;
+    if (rpc_deadline != 0) {
+      opts.deadline = env_->clock()->Now() + rpc_deadline;
+    }
+    response->clear();
+    s = rpc_->Call(client_node_, cm, service, request, response, opts);
+  }
+  if (s.ok()) {
+    // Every successful control response is prefixed with the answering
+    // primary's term. A term below the highest one we have seen means a
+    // stale primary (e.g. revived after demotion, still believing in its
+    // old reign): reject its answer and redirect to the real primary.
+    if (response->size() < 8) {
+      return Status::Corruption("cm response missing term");
+    }
+    const uint64_t term = DecodeFixed64(response->data());
+    uint64_t seen = cm_term_.load(std::memory_order_relaxed);
+    while (term > seen &&
+           !cm_term_.compare_exchange_weak(seen, term,
+                                           std::memory_order_relaxed)) {
+    }
+    if (term < seen) {
+      s = Status::Stale("cm answered from a superseded term");
+    } else {
+      response->erase(0, 8);
+      return Status::OK();
+    }
+  }
+  if (cm_endpoints_.size() > 1 &&
+      (s.IsUnavailable() || s.IsTimedOut() || s.IsStale())) {
+    // This endpoint is dead, partitioned, demoted, or stale: prefer the
+    // next one. CAS so a burst of concurrent failures rotates once.
+    size_t expect = idx;
+    if (cm_index_.compare_exchange_strong(expect, idx + 1,
+                                          std::memory_order_relaxed)) {
+      cm_failovers_->Add(1);
+    }
+  }
+  return s;
+}
+
 Status AStoreClient::CmCall(const char* op, const std::string& service,
                             Slice request, std::string* response,
                             bool idempotent) {
@@ -84,15 +138,8 @@ Status AStoreClient::CmCall(const char* op, const std::string& service,
                                  : 0;
   Status s;
   for (int attempt = 1;; ++attempt) {
-    s = env_->faults()->MaybeFail("astore.client.cm");
-    if (s.ok()) {
-      net::RpcCallOptions opts;
-      if (idempotent && rp.cm_deadline != 0) {
-        opts.deadline = env_->clock()->Now() + rp.cm_deadline;
-      }
-      response->clear();
-      s = rpc_->Call(client_node_, cm_node_, service, request, response, opts);
-    }
+    s = CmCallOnce(service, request, response,
+                   (idempotent && rp.cm_deadline != 0) ? rp.cm_deadline : 0);
     if (s.ok() || !rp.enabled || !Retriable(s)) return s;
     if (attempt >= rp.max_attempts) return s;
     const Timestamp now = env_->clock()->Now();
@@ -109,8 +156,19 @@ Status AStoreClient::Connect() { return RenewLease(); }
 Status AStoreClient::RenewLease() {
   std::string req, resp;
   PutFixed64(&req, client_id_);
-  VEDB_RETURN_IF_ERROR(
-      rpc_->Call(client_node_, cm_node_, "cm.lease", Slice(req), &resp));
+  // Renewal rides the full retry policy: during a CM failover the renew
+  // loop is what keeps probing endpoints until the new primary answers,
+  // and a lost renewal here is the difference between a transparent
+  // failover and a LeaseExpired surfacing to every writer.
+  Status s = CmCall("renew_lease", "cm.lease", Slice(req), &resp,
+                    /*idempotent=*/true);
+  if (!s.ok()) {
+    obs::MetricsRegistry::Default()
+        .GetCounter("astore.client.lease_renew_failures",
+                    {{"cause", CauseLabel(s)}})
+        ->Add(1);
+    return s;
+  }
   if (resp.size() < 8) return Status::Corruption("bad lease response");
   lease_expiry_.store(DecodeFixed64(resp.data()));
   return Status::OK();
@@ -434,8 +492,12 @@ Status AStoreClient::Delete(const SegmentHandlePtr& handle) {
   std::string req, resp;
   PutFixed64(&req, client_id_);
   PutFixed64(&req, handle->id());
-  Status s = rpc_->Call(client_node_, cm_node_, "cm.delete_segment",
-                        Slice(req), &resp);
+  // Non-idempotent (a retried delete that already applied answers NotFound,
+  // which is harmless, but per-attempt deadlines could time out a delete
+  // that actually succeeded): no cm_deadline, retries only on transport
+  // failure.
+  Status s = CmCall("delete", "cm.delete_segment", Slice(req), &resp,
+                    /*idempotent=*/false);
   {
     vedb::MutexLock lk(&handle->mu_);
     handle->stale_ = true;
@@ -471,15 +533,10 @@ void AStoreClient::RefreshRoutes() {
 Status AStoreClient::RefreshRoute(const SegmentHandlePtr& handle) {
   std::string req, resp;
   PutFixed64(&req, handle->id());
-  Status s = env_->faults()->MaybeFail("astore.client.cm");
-  if (s.ok()) {
-    net::RpcCallOptions opts;
-    if (options_.retry.cm_deadline != 0) {
-      opts.deadline = env_->clock()->Now() + options_.retry.cm_deadline;
-    }
-    s = rpc_->Call(client_node_, cm_node_, "cm.get_route", Slice(req), &resp,
-                   opts);
-  }
+  // Single attempt (the periodic pass and the write-retry loop supply the
+  // repetition); the endpoint rotation inside still walks the CM list.
+  Status s = CmCallOnce("cm.get_route", Slice(req), &resp,
+                        options_.retry.cm_deadline);
   route_refreshes_->Add(1);
   vedb::MutexLock lk(&handle->mu_);
   if (s.IsNotFound()) {

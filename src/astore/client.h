@@ -144,6 +144,17 @@ class AStoreClient {
                sim::SimNode* client_node, ClientId client_id,
                const Options& options);
 
+  /// Replaces the CM endpoint list for control-plane failover (the
+  /// constructor's `cm_node` is the single endpoint by default). The client
+  /// prefers one endpoint and rotates to the next on Unavailable / TimedOut
+  /// / Stale — a standby answering "not primary" counts as a miss — so every
+  /// CM call converges on the current primary within a few attempts.
+  /// Successful responses carry the primary's term; the client tracks the
+  /// highest term it has seen and rejects responses from older terms as
+  /// Stale, which both fences a demoted-but-revived primary and redirects
+  /// the call to the real one. Call before any concurrent use.
+  void SetCmEndpoints(std::vector<sim::SimNode*> endpoints);
+
   /// Acquires the initial lease from the CM.
   Status Connect();
 
@@ -221,6 +232,11 @@ class AStoreClient {
   /// `idempotent` gates the per-attempt RPC deadline (see RetryPolicy).
   Status CmCall(const char* op, const std::string& service, Slice request,
                 std::string* response, bool idempotent);
+  /// A single attempt against the currently preferred CM endpoint: strips
+  /// and validates the term prefix on success, rotates the preference on
+  /// endpoint failure. `rpc_deadline` of 0 means no per-attempt deadline.
+  Status CmCallOnce(const std::string& service, Slice request,
+                    std::string* response, Duration rpc_deadline);
   /// Re-fetches one handle's route from the CM and folds it in: installs
   /// epoch changes, marks reclaimed/deleted segments stale, and un-freezes
   /// the handle when the epoch advanced past the freeze.
@@ -234,10 +250,17 @@ class AStoreClient {
   sim::SimEnvironment* env_;
   net::RpcTransport* rpc_;
   net::RdmaFabric* fabric_;
-  sim::SimNode* cm_node_;
   sim::SimNode* client_node_;
   ClientId client_id_;
   Options options_;
+
+  // CM endpoint list (fixed by SetCmEndpoints before concurrent use) plus
+  // the rotating preference and the highest primary term seen. Lock-free:
+  // concurrent callers CAS the preference so a burst of failures against
+  // one dead CM rotates once, not once per caller.
+  std::vector<sim::SimNode*> cm_endpoints_;
+  std::atomic<size_t> cm_index_{0};
+  std::atomic<uint64_t> cm_term_{0};
 
   std::atomic<Timestamp> lease_expiry_{0};
   std::atomic<bool> shutdown_{false};
@@ -260,6 +283,7 @@ class AStoreClient {
   obs::HistogramMetric* read_ns_ = nullptr;
   obs::Counter* route_refreshes_ = nullptr;
   obs::Counter* unfreezes_ = nullptr;
+  obs::Counter* cm_failovers_ = nullptr;
 };
 
 }  // namespace vedb::astore

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "sim/lock_order.h"
 
 namespace vedb::astore {
 
@@ -11,7 +12,38 @@ ClusterManager::ClusterManager(sim::SimEnvironment* env,
                                net::RpcTransport* rpc, sim::SimNode* node,
                                const Options& options)
     : env_(env), rpc_(rpc), node_(node), options_(options) {
+  VEDB_CHECK(options_.node_id < 0x10000, "cm node_id must fit 16 bits");
+  sim::LockOrderGraph::RegisterContract("cm.repl", "cm.state");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  term_gauge_ = reg.GetGauge("cm.term", {{"node", node_->name()}});
+  failovers_ = reg.GetCounter("cm.failovers", {{"node", node_->name()}});
+  {
+    // Until SetPeers says otherwise this member is a standalone primary.
+    vedb::MutexLock lk(&mu_);
+    term_ = MakeTerm(1, options_.node_id);
+    leader_id_ = options_.node_id;
+    term_gauge_->Set(static_cast<int64_t>(term_));
+  }
   RegisterRpcServices();
+}
+
+void ClusterManager::SetPeers(const std::vector<CmPeer>& peers) {
+  peers_ = peers;
+  uint32_t lowest = options_.node_id;
+  for (const CmPeer& p : peers_) lowest = std::min(lowest, p.node_id);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  for (const CmPeer& p : peers_) {
+    if (p.node_id == options_.node_id) continue;
+    lag_gauges_[p.node_id] =
+        reg.GetGauge("cm.replication_lag", {{"node", node_->name()},
+                                            {"peer", p.node->name()}});
+  }
+  vedb::MutexLock lk(&mu_);
+  // Every member starts pre-agreed on term (1, lowest id): the record
+  // streams are aligned from seq 1, so no initial snapshot is needed.
+  term_ = MakeTerm(1, lowest);
+  leader_id_ = lowest;
+  term_gauge_->Set(static_cast<int64_t>(term_));
 }
 
 void ClusterManager::RegisterServer(AStoreServer* server) {
@@ -20,14 +52,451 @@ void ClusterManager::RegisterServer(AStoreServer* server) {
 }
 
 void ClusterManager::StartBackground(sim::ActorGroup* group) {
+  {
+    std::lock_guard<std::mutex> lk(bg_mu_);
+    bg_active_++;
+  }
   group->Spawn([this] { HealthLoop(); });
+}
+
+void ClusterManager::Shutdown() {
+  RequestShutdown();
+  // Drain: the heartbeat actor observes the flag within one period and
+  // exits. The wait is real time, so let the virtual clock advance past us
+  // while we park (safe for actor and guest callers alike).
+  sim::VirtualClock::ExternalWaitScope ext(env_->clock());
+  std::unique_lock<std::mutex> lk(bg_mu_);
+  bg_cv_.wait(lk, [this] { return bg_active_ == 0; });
 }
 
 void ClusterManager::HealthLoop() {
   while (!shutdown_.load()) {
     env_->clock()->SleepFor(options_.heartbeat_period);
-    CheckHealthNow();
+    if (shutdown_.load()) break;
+    Tick();
   }
+  {
+    std::lock_guard<std::mutex> lk(bg_mu_);
+    bg_active_--;
+  }
+  bg_cv_.notify_all();
+}
+
+void ClusterManager::Tick() {
+  // A crashed CM does nothing — its node is gone, so neither its sweeps nor
+  // its RPCs exist. When revived it resumes here with stale beliefs and the
+  // first peer ping demotes it (PrimaryTick pings before sweeping).
+  if (!node_->alive()) return;
+  if (IsPrimary()) {
+    PrimaryTick();
+  } else {
+    StandbyTick();
+  }
+}
+
+bool ClusterManager::IsPrimary() const {
+  vedb::MutexLock lk(&mu_);
+  return IsPrimaryLocked();
+}
+
+uint64_t ClusterManager::Term() const {
+  vedb::MutexLock lk(&mu_);
+  return term_;
+}
+
+uint32_t ClusterManager::LeaderId() const {
+  vedb::MutexLock lk(&mu_);
+  return leader_id_;
+}
+
+std::vector<uint64_t> ClusterManager::GrantedTerms() const {
+  vedb::MutexLock lk(&mu_);
+  return {granted_terms_.begin(), granted_terms_.end()};
+}
+
+std::string ClusterManager::DebugEncodeRoutes() const {
+  vedb::MutexLock lk(&mu_);
+  std::string out;
+  for (const auto& [id, route] : routes_) EncodeSegmentRoute(&out, route);
+  return out;
+}
+
+uint64_t ClusterManager::LastSeq() const {
+  {
+    vedb::MutexLock lk(&mu_);
+    if (IsPrimaryLocked()) return next_seq_ - 1;
+  }
+  vedb::MutexLock lk(&repl_mu_);
+  return last_applied_;
+}
+
+CmRecord ClusterManager::MakeRecordLocked(CmRecordType type) {
+  CmRecord rec;
+  rec.term = term_;
+  rec.seq = next_seq_++;
+  rec.type = type;
+  return rec;
+}
+
+void ClusterManager::ShipRecords(const std::vector<CmRecord>& records) {
+  if (records.empty() || peers_.size() < 2) return;
+  std::string batch;
+  PutFixed32(&batch, static_cast<uint32_t>(records.size()));
+  for (const CmRecord& rec : records) EncodeCmRecord(&batch, rec);
+  const uint64_t last = records.back().seq;
+  for (const CmPeer& peer : peers_) {
+    if (peer.node_id == options_.node_id) continue;
+    net::RpcCallOptions opts;
+    opts.deadline = env_->clock()->Now() + options_.replication_deadline;
+    std::string resp;
+    Status s = rpc_->Call(node_, peer.node, "cm.replicate", Slice(batch),
+                          &resp, opts);
+    auto lag_it = lag_gauges_.find(peer.node_id);
+    if (s.ok() && resp.size() >= 8) {
+      const uint64_t acked = DecodeFixed64(resp.data());
+      if (lag_it != lag_gauges_.end()) {
+        lag_it->second->Set(
+            static_cast<int64_t>(last > acked ? last - acked : 0));
+      }
+    } else if (lag_it != lag_gauges_.end()) {
+      // Unacked ship: report the full distance; the peer repairs itself via
+      // snapshot pull and the next successful ship corrects the gauge.
+      lag_it->second->Set(static_cast<int64_t>(last));
+    }
+  }
+}
+
+void ClusterManager::ApplyRecordLocked(const CmRecord& rec) {
+  switch (rec.type) {
+    case CmRecordType::kLease:
+      leases_[rec.client] = rec.expiry;
+      break;
+    case CmRecordType::kLeasePrune:
+      for (auto it = leases_.begin(); it != leases_.end();) {
+        if (it->second <= rec.cutoff) {
+          it = leases_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    case CmRecordType::kRouteUpsert:
+      routes_[rec.route.id] = rec.route;
+      pending_creates_.erase(rec.route.id);
+      next_segment_id_ = std::max(next_segment_id_, rec.route.id + 1);
+      break;
+    case CmRecordType::kRouteErase:
+      routes_.erase(rec.segment);
+      pending_creates_.erase(rec.segment);
+      break;
+    case CmRecordType::kCreateBegin:
+      pending_creates_.insert(rec.segment);
+      next_segment_id_ = std::max(next_segment_id_, rec.segment + 1);
+      break;
+  }
+}
+
+void ClusterManager::AdoptTermIfNewer(uint64_t term) {
+  {
+    vedb::MutexLock lk(&mu_);
+    if (term <= term_) return;
+    if (IsPrimaryLocked()) {
+      VEDB_LOG(kInfo, "cm %s stepping down: term %llu superseded by %llu",
+               node_->name().c_str(), static_cast<unsigned long long>(term_),
+               static_cast<unsigned long long>(term));
+    }
+    term_ = term;
+    leader_id_ = TermNodeId(term);
+    term_gauge_->Set(static_cast<int64_t>(term_));
+  }
+  vedb::MutexLock lk(&repl_mu_);
+  // Our state may have diverged from the new leader's (records we missed,
+  // or records only we applied). Resync wholesale before ingesting more.
+  need_snapshot_ = true;
+  reorder_.clear();
+  leader_down_since_ = 0;
+}
+
+Status ClusterManager::RequirePrimaryAndStamp(std::string* resp) {
+  vedb::MutexLock lk(&mu_);
+  if (!IsPrimaryLocked()) {
+    return Status::Stale("cm " + node_->name() + " is not primary");
+  }
+  PutFixed64(resp, term_);
+  return Status::OK();
+}
+
+Status ClusterManager::PingPeer(const CmPeer& peer, PeerStatus* out) {
+  std::string req, resp;
+  PutFixed32(&req, options_.node_id);
+  PutFixed64(&req, Term());
+  net::RpcCallOptions opts;
+  opts.deadline = env_->clock()->Now() + options_.replication_deadline;
+  VEDB_RETURN_IF_ERROR(
+      rpc_->Call(node_, peer.node, "cm.ping", Slice(req), &resp, opts));
+  Slice in(resp);
+  Slice raw;
+  if (!GetFixedBytes(&in, 8, &raw)) return Status::Corruption("ping resp");
+  out->term = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(&in, 4, &raw)) return Status::Corruption("ping resp");
+  out->leader_id = DecodeFixed32(raw.data());
+  if (!GetFixedBytes(&in, 8, &raw)) return Status::Corruption("ping resp");
+  out->last_seq = DecodeFixed64(raw.data());
+  return Status::OK();
+}
+
+void ClusterManager::PrimaryTick() {
+  // Validate our term against the group BEFORE any sweep: a revived or
+  // partition-healed old primary must learn of the new term and step down
+  // rather than issue a late rebuild against the promoted standby's state.
+  if (peers_.size() >= 2) {
+    uint64_t last;
+    {
+      vedb::MutexLock lk(&mu_);
+      last = next_seq_ - 1;
+    }
+    const uint64_t my_term = Term();
+    for (const CmPeer& peer : peers_) {
+      if (peer.node_id == options_.node_id) continue;
+      PeerStatus ps;
+      if (!PingPeer(peer, &ps).ok()) continue;
+      if (ps.term > my_term) {
+        AdoptTermIfNewer(ps.term);
+        return;  // demoted; no sweep under a term we no longer lead
+      }
+      auto lag_it = lag_gauges_.find(peer.node_id);
+      if (lag_it != lag_gauges_.end()) {
+        lag_it->second->Set(
+            static_cast<int64_t>(last > ps.last_seq ? last - ps.last_seq : 0));
+      }
+    }
+  }
+  CheckHealthNow();
+}
+
+void ClusterManager::StandbyTick() {
+  const CmPeer* leader = nullptr;
+  const uint32_t lid = LeaderId();
+  for (const CmPeer& peer : peers_) {
+    if (peer.node_id == lid) leader = &peer;
+  }
+  if (leader == nullptr || leader->node == node_) return;
+
+  PeerStatus ps;
+  const Status s = PingPeer(*leader, &ps);
+  if (s.ok()) {
+    AdoptTermIfNewer(ps.term);
+    bool pull = false;
+    {
+      vedb::MutexLock lk(&repl_mu_);
+      leader_down_since_ = 0;
+      if (need_snapshot_) {
+        pull = true;
+      } else if (ps.last_seq > last_applied_ &&
+                 last_applied_ == prev_applied_seen_) {
+        // The leader is ahead and we made no progress across a whole tick:
+        // a shipped batch was lost to us. Repair wholesale.
+        need_snapshot_ = true;
+        pull = true;
+      }
+      prev_applied_seen_ = last_applied_;
+    }
+    if (pull) {
+      // discard-ok: best-effort; the flag stays set and the next tick
+      // retries until a pull succeeds.
+      (void)PullSnapshotFromLeader();
+    }
+    return;
+  }
+
+  const Timestamp now = env_->clock()->Now();
+  bool elect = false;
+  {
+    vedb::MutexLock lk(&repl_mu_);
+    if (leader_down_since_ == 0) {
+      leader_down_since_ = now;
+    } else if (now - leader_down_since_ >= options_.failure_timeout) {
+      elect = true;
+    }
+  }
+  if (elect) TryElect();
+}
+
+void ClusterManager::TryElect() {
+  const uint64_t my_term = Term();
+  const uint32_t my_id = options_.node_id;
+  const uint32_t lid = LeaderId();
+  int reachable = 1;  // self
+  bool lower_live = false;
+  for (const CmPeer& peer : peers_) {
+    if (peer.node_id == my_id) continue;
+    PeerStatus ps;
+    if (!PingPeer(peer, &ps).ok()) continue;
+    reachable++;
+    if (ps.term > my_term) {
+      // Someone already promoted; follow them.
+      AdoptTermIfNewer(ps.term);
+      return;
+    }
+    if (peer.node_id == lid) {
+      // The leader answered after all; not an outage.
+      vedb::MutexLock lk(&repl_mu_);
+      leader_down_since_ = 0;
+      return;
+    }
+    if (peer.node_id < my_id) lower_live = true;
+  }
+  // Majority gate (self included): a minority-side member must never
+  // promote, or a healed partition would reunite two primaries whose terms
+  // both granted leases. This is the split-brain fence.
+  if (2 * reachable <= static_cast<int>(peers_.size())) return;
+  // Deterministic election: the lowest-node-id live standby wins the next
+  // term; everyone else defers and adopts it on their next ping.
+  if (lower_live) return;
+  Promote();
+}
+
+void ClusterManager::Promote() {
+  uint64_t applied;
+  {
+    vedb::MutexLock lk(&repl_mu_);
+    // Drain whatever consecutive records are still buffered, then discard
+    // the rest: the old primary that could fill the gap is gone.
+    while (!reorder_.empty() &&
+           reorder_.begin()->first == last_applied_ + 1) {
+      {
+        vedb::MutexLock state(&mu_);
+        ApplyRecordLocked(reorder_.begin()->second);
+      }
+      last_applied_++;
+      reorder_.erase(reorder_.begin());
+    }
+    reorder_.clear();
+    need_snapshot_ = false;
+    leader_down_since_ = 0;
+    applied = last_applied_;
+    prev_applied_seen_ = applied;
+  }
+
+  std::vector<CmRecord> records;
+  std::vector<SegmentId> orphans;
+  uint64_t new_term;
+  {
+    vedb::MutexLock lk(&mu_);
+    new_term = MakeTerm(TermRound(term_) + 1, options_.node_id);
+    term_ = new_term;
+    leader_id_ = options_.node_id;
+    next_seq_ = applied + 1;
+    // Ids the old primary may have reserved without us ever hearing of the
+    // reservation can never be re-issued.
+    next_segment_id_ += options_.failover_id_gap;
+    // In-flight creates whose kCreateBegin we saw but whose commit never
+    // arrived are orphans: their client will retry against us and get a
+    // fresh id, so release the half-made allocations and drop the ids.
+    orphans.assign(pending_creates_.begin(), pending_creates_.end());
+    pending_creates_.clear();
+    for (SegmentId id : orphans) {
+      CmRecord rec = MakeRecordLocked(CmRecordType::kRouteErase);
+      rec.segment = id;
+      records.push_back(rec);
+    }
+    term_gauge_->Set(static_cast<int64_t>(term_));
+  }
+  failovers_->Add(1);
+  VEDB_LOG(kInfo, "cm %s promoted to primary: term %llu, %zu orphaned creates",
+           node_->name().c_str(), static_cast<unsigned long long>(new_term),
+           orphans.size());
+  ShipRecords(records);
+
+  if (!orphans.empty()) {
+    std::vector<sim::SimNode*> server_nodes;
+    {
+      vedb::MutexLock lk(&mu_);
+      for (const auto& [name, info] : servers_) {
+        server_nodes.push_back(info.server->node());
+      }
+    }
+    for (SegmentId id : orphans) {
+      std::string req;
+      PutFixed64(&req, id);
+      for (sim::SimNode* server : server_nodes) {
+        std::string resp;
+        // discard-ok: best-effort epoch-zero cleanup — a server that never
+        // allocated the id answers NotFound, an unreachable one reclaims
+        // the space via its deferred cleaner.
+        (void)rpc_->Call(node_, server, "astore.release", Slice(req), &resp);
+      }
+    }
+  }
+  // Resume health-checking immediately: dead storage nodes get their
+  // routes' epochs bumped and replicas rebuilt under the new term.
+  CheckHealthNow();
+}
+
+Status ClusterManager::PullSnapshotFromLeader() {
+  const CmPeer* leader = nullptr;
+  const uint32_t lid = LeaderId();
+  for (const CmPeer& peer : peers_) {
+    if (peer.node_id == lid) leader = &peer;
+  }
+  if (leader == nullptr || leader->node == node_) {
+    return Status::InvalidArgument("no leader to sync from");
+  }
+  std::string resp;
+  VEDB_RETURN_IF_ERROR(rpc_->Call(node_, leader->node, "cm.fetch_snapshot",
+                                  Slice(), &resp));
+  Slice in(resp);
+  CmSnapshot snap;
+  if (!DecodeCmSnapshot(&in, &snap)) {
+    return Status::Corruption("bad cm snapshot");
+  }
+  InstallSnapshot(snap);
+  return Status::OK();
+}
+
+void ClusterManager::InstallSnapshot(const CmSnapshot& snap) {
+  vedb::MutexLock repl(&repl_mu_);
+  {
+    vedb::MutexLock lk(&mu_);
+    if (snap.term < term_) return;  // raced with an even newer leader
+    term_ = snap.term;
+    leader_id_ = snap.leader_id;
+    next_seq_ = snap.last_seq + 1;
+    next_segment_id_ = snap.next_segment_id;
+    routes_.clear();
+    for (const SegmentRoute& route : snap.routes) routes_[route.id] = route;
+    leases_.clear();
+    for (const auto& [client, expiry] : snap.leases) {
+      leases_[client] = expiry;
+    }
+    pending_creates_ = {snap.pending_creates.begin(),
+                        snap.pending_creates.end()};
+    term_gauge_->Set(static_cast<int64_t>(term_));
+  }
+  last_applied_ = snap.last_seq;
+  prev_applied_seen_ = snap.last_seq;
+  need_snapshot_ = false;
+  for (auto it = reorder_.begin(); it != reorder_.end();) {
+    if (it->first <= snap.last_seq) {
+      it = reorder_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+CmSnapshot ClusterManager::BuildSnapshotLocked() const {
+  CmSnapshot snap;
+  snap.term = term_;
+  snap.leader_id = leader_id_;
+  snap.last_seq = next_seq_ - 1;
+  snap.next_segment_id = next_segment_id_;
+  for (const auto& [id, route] : routes_) snap.routes.push_back(route);
+  for (const auto& [client, expiry] : leases_) {
+    snap.leases.emplace_back(client, expiry);
+  }
+  snap.pending_creates = {pending_creates_.begin(), pending_creates_.end()};
+  return snap;
 }
 
 void ClusterManager::CheckHealthNow() {
@@ -35,17 +504,26 @@ void ClusterManager::CheckHealthNow() {
   // issues RPCs that advance virtual time).
   std::vector<std::string> newly_dead;
   std::vector<AStoreServer*> returned;
+  std::vector<CmRecord> records;
   {
     vedb::MutexLock lk(&mu_);
+    if (!IsPrimaryLocked()) return;  // standbys follow, they don't sweep
     // Drop leases that expired: holders must re-acquire anyway, and
     // without pruning the map grows by one entry per client id forever.
     const Timestamp now = env_->clock()->Now();
+    bool pruned = false;
     for (auto it = leases_.begin(); it != leases_.end();) {
       if (it->second <= now) {
         it = leases_.erase(it);
+        pruned = true;
       } else {
         ++it;
       }
+    }
+    if (pruned) {
+      CmRecord rec = MakeRecordLocked(CmRecordType::kLeasePrune);
+      rec.cutoff = now;
+      records.push_back(rec);
     }
     for (auto& [name, info] : servers_) {
       const bool alive = info.server->node()->alive();
@@ -58,6 +536,7 @@ void ClusterManager::CheckHealthNow() {
       }
     }
   }
+  ShipRecords(records);
   for (const std::string& name : newly_dead) {
     RebuildSegmentsOf(name);
   }
@@ -95,11 +574,18 @@ void ClusterManager::CheckHealthNow() {
     for (SegmentId id : reattach) {
       auto loc = server->LocationOf(id);
       if (!loc.ok()) continue;
-      vedb::MutexLock lk(&mu_);
-      auto it = routes_.find(id);
-      if (it == routes_.end() || !it->second.replicas.empty()) continue;
-      it->second.replicas.push_back(*loc);
-      it->second.epoch++;
+      std::vector<CmRecord> reattach_records;
+      {
+        vedb::MutexLock lk(&mu_);
+        auto it = routes_.find(id);
+        if (it == routes_.end() || !it->second.replicas.empty()) continue;
+        it->second.replicas.push_back(*loc);
+        it->second.epoch++;
+        CmRecord rec = MakeRecordLocked(CmRecordType::kRouteUpsert);
+        rec.route = it->second;
+        reattach_records.push_back(rec);
+      }
+      ShipRecords(reattach_records);
     }
   }
 }
@@ -112,6 +598,7 @@ void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
     ReplicaLocation source;  // a healthy replica to copy from
   };
   std::vector<RebuildJob> jobs;
+  std::vector<CmRecord> records;
   {
     vedb::MutexLock lk(&mu_);
     for (auto& [id, route] : routes_) {
@@ -121,11 +608,15 @@ void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
       if (it == route.replicas.end()) continue;
       route.replicas.erase(it);
       route.epoch++;
+      CmRecord rec = MakeRecordLocked(CmRecordType::kRouteUpsert);
+      rec.route = route;
+      records.push_back(rec);
       if (options_.auto_rebuild && !route.replicas.empty()) {
         jobs.push_back(RebuildJob{id, route.size, route.replicas.front()});
       }
     }
   }
+  ShipRecords(records);
 
   for (const RebuildJob& job : jobs) {
     AStoreServer* target = nullptr;
@@ -158,18 +649,35 @@ void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
     Slice in(resp);
     ReplicaLocation loc;
     if (!DecodeReplicaLocation(&in, &loc)) continue;
-    vedb::MutexLock lk(&mu_);
-    auto rit = routes_.find(job.id);
-    if (rit == routes_.end()) continue;
-    rit->second.replicas.push_back(loc);
-    rit->second.epoch++;
+    std::vector<CmRecord> commit;
+    {
+      vedb::MutexLock lk(&mu_);
+      auto rit = routes_.find(job.id);
+      if (rit == routes_.end()) continue;
+      rit->second.replicas.push_back(loc);
+      rit->second.epoch++;
+      CmRecord rec = MakeRecordLocked(CmRecordType::kRouteUpsert);
+      rec.route = rit->second;
+      commit.push_back(rec);
+    }
+    ShipRecords(commit);
   }
 }
 
 Timestamp ClusterManager::AcquireLease(ClientId client) {
-  vedb::MutexLock lk(&mu_);
-  Timestamp expiry = env_->clock()->Now() + options_.lease_duration;
-  leases_[client] = expiry;
+  std::vector<CmRecord> records;
+  Timestamp expiry;
+  {
+    vedb::MutexLock lk(&mu_);
+    expiry = env_->clock()->Now() + options_.lease_duration;
+    leases_[client] = expiry;
+    granted_terms_.insert(term_);
+    CmRecord rec = MakeRecordLocked(CmRecordType::kLease);
+    rec.client = client;
+    rec.expiry = expiry;
+    records.push_back(rec);
+  }
+  ShipRecords(records);
   return expiry;
 }
 
@@ -214,15 +722,27 @@ Result<SegmentRoute> ClusterManager::CreateSegment(sim::SimNode* rpc_client,
   }
   SegmentRoute route;
   std::vector<AStoreServer*> chosen;
+  std::vector<CmRecord> begin_records;
   {
     vedb::MutexLock lk(&mu_);
+    if (!IsPrimaryLocked()) {
+      return Status::Stale("cm " + node_->name() + " is not primary");
+    }
     VEDB_ASSIGN_OR_RETURN(chosen, PickServersLocked(replication, {}));
     route.id = next_segment_id_++;
     route.size = size;
     route.replication = replication;
     route.epoch = 1;
     route.owner = client;
+    // Reserve the id group-wide before any allocation happens, so a CM that
+    // takes over mid-create knows the id was handed out and releases the
+    // half-made allocations instead of ever re-issuing the id.
+    pending_creates_.insert(route.id);
+    CmRecord rec = MakeRecordLocked(CmRecordType::kCreateBegin);
+    rec.segment = route.id;
+    begin_records.push_back(rec);
   }
+  ShipRecords(begin_records);
   // Allocate space on each chosen server ("the AStore Client sends an RPC
   // message to apply for new storage space", Section IV-B — issued here on
   // the caller's behalf, from its node).
@@ -238,6 +758,17 @@ Result<SegmentRoute> ClusterManager::CreateSegment(sim::SimNode* rpc_client,
       (void)rpc_->Call(rpc_client, chosen[i]->node(), "astore.release",
                        Slice(req), &resp);
     }
+    std::vector<CmRecord> abort_records;
+    {
+      vedb::MutexLock lk(&mu_);
+      pending_creates_.erase(route.id);
+      if (IsPrimaryLocked()) {
+        CmRecord rec = MakeRecordLocked(CmRecordType::kRouteErase);
+        rec.segment = route.id;
+        abort_records.push_back(rec);
+      }
+    }
+    ShipRecords(abort_records);
     return failure;
   };
   for (AStoreServer* server : chosen) {
@@ -254,8 +785,24 @@ Result<SegmentRoute> ClusterManager::CreateSegment(sim::SimNode* rpc_client,
     }
     route.replicas.push_back(loc);
   }
-  vedb::MutexLock lk(&mu_);
-  routes_[route.id] = route;
+  std::vector<CmRecord> commit_records;
+  {
+    vedb::MutexLock lk(&mu_);
+    if (!IsPrimaryLocked()) {
+      // Demoted while the allocations were in flight: the new primary owns
+      // the id's fate (it saw our kCreateBegin). Undo and let the client
+      // retry against it.
+      lk.Unlock();
+      return release_partial(
+          Status::Stale("cm demoted during segment create"));
+    }
+    routes_[route.id] = route;
+    pending_creates_.erase(route.id);
+    CmRecord rec = MakeRecordLocked(CmRecordType::kRouteUpsert);
+    rec.route = route;
+    commit_records.push_back(rec);
+  }
+  ShipRecords(commit_records);
   return route;
 }
 
@@ -267,17 +814,25 @@ Result<SegmentRoute> ClusterManager::GetRoute(SegmentId id) const {
 }
 
 Status ClusterManager::ReclaimSegment(SegmentId id, ClientId new_owner) {
-  vedb::MutexLock lk(&mu_);
-  auto it = routes_.find(id);
-  if (it == routes_.end()) return Status::NotFound("no such segment");
-  it->second.owner = new_owner;
-  it->second.epoch++;
+  std::vector<CmRecord> records;
+  {
+    vedb::MutexLock lk(&mu_);
+    auto it = routes_.find(id);
+    if (it == routes_.end()) return Status::NotFound("no such segment");
+    it->second.owner = new_owner;
+    it->second.epoch++;
+    CmRecord rec = MakeRecordLocked(CmRecordType::kRouteUpsert);
+    rec.route = it->second;
+    records.push_back(rec);
+  }
+  ShipRecords(records);
   return Status::OK();
 }
 
 Status ClusterManager::DeleteSegment(sim::SimNode* rpc_client, ClientId client,
                                      SegmentId id) {
   SegmentRoute route;
+  std::vector<CmRecord> records;
   {
     vedb::MutexLock lk(&mu_);
     auto it = routes_.find(id);
@@ -287,7 +842,11 @@ Status ClusterManager::DeleteSegment(sim::SimNode* rpc_client, ClientId client,
     }
     route = it->second;
     routes_.erase(it);
+    CmRecord rec = MakeRecordLocked(CmRecordType::kRouteErase);
+    rec.segment = id;
+    records.push_back(rec);
   }
+  ShipRecords(records);
   // Ask each replica to (defer-)release the space.
   for (const auto& loc : route.replicas) {
     std::string req, resp;
@@ -323,6 +882,7 @@ void ClusterManager::RegisterRpcServices() {
   rpc_->RegisterService(
       node_, "cm.create_segment", [this](Slice req, std::string* resp) {
         node_->cpu()->Access(0, options_.control_op_cost);
+        VEDB_RETURN_IF_ERROR(RequirePrimaryAndStamp(resp));
         Slice raw;
         if (!GetFixedBytes(&req, 8, &raw)) {
           return Status::InvalidArgument("create req");
@@ -345,6 +905,7 @@ void ClusterManager::RegisterRpcServices() {
   rpc_->RegisterService(
       node_, "cm.get_route", [this](Slice req, std::string* resp) {
         node_->cpu()->Access(0, options_.control_op_cost / 10);
+        VEDB_RETURN_IF_ERROR(RequirePrimaryAndStamp(resp));
         Slice raw;
         if (!GetFixedBytes(&req, 8, &raw)) {
           return Status::InvalidArgument("route req");
@@ -358,6 +919,7 @@ void ClusterManager::RegisterRpcServices() {
       node_, "cm.delete_segment", [this](Slice req, std::string* resp) {
         node_->cpu()->Access(0, options_.control_op_cost);
         resp->clear();
+        VEDB_RETURN_IF_ERROR(RequirePrimaryAndStamp(resp));
         Slice raw;
         if (!GetFixedBytes(&req, 8, &raw)) {
           return Status::InvalidArgument("delete req");
@@ -371,12 +933,96 @@ void ClusterManager::RegisterRpcServices() {
   rpc_->RegisterService(
       node_, "cm.lease", [this](Slice req, std::string* resp) {
         node_->cpu()->Access(0, options_.control_op_cost / 10);
+        VEDB_RETURN_IF_ERROR(RequirePrimaryAndStamp(resp));
         Slice raw;
         if (!GetFixedBytes(&req, 8, &raw)) {
           return Status::InvalidArgument("lease req");
         }
         Timestamp expiry = AcquireLease(DecodeFixed64(raw.data()));
         PutFixed64(resp, expiry);
+        return Status::OK();
+      });
+
+  // ---- Intra-group services (term-checked, never client-facing). ----
+  rpc_->RegisterService(
+      node_, "cm.ping", [this](Slice req, std::string* resp) {
+        node_->cpu()->Access(0, options_.control_op_cost / 20);
+        Slice raw;
+        if (!GetFixedBytes(&req, 4, &raw)) {
+          return Status::InvalidArgument("ping req");
+        }
+        if (!GetFixedBytes(&req, 8, &raw)) {
+          return Status::InvalidArgument("ping req");
+        }
+        // A ping carries the sender's term: this is how a revived old
+        // primary hears about the regime change.
+        AdoptTermIfNewer(DecodeFixed64(raw.data()));
+        PutFixed64(resp, Term());
+        PutFixed32(resp, LeaderId());
+        PutFixed64(resp, LastSeq());
+        return Status::OK();
+      });
+  rpc_->RegisterService(
+      node_, "cm.replicate", [this](Slice req, std::string* resp) {
+        node_->cpu()->Access(0, options_.control_op_cost / 20);
+        Slice raw;
+        if (!GetFixedBytes(&req, 4, &raw)) {
+          return Status::InvalidArgument("replicate req");
+        }
+        const uint32_t count = DecodeFixed32(raw.data());
+        std::vector<CmRecord> records(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          if (!DecodeCmRecord(&req, &records[i])) {
+            return Status::Corruption("cm record failed validation");
+          }
+        }
+        if (!records.empty()) {
+          const uint64_t t = records.front().term;
+          {
+            vedb::MutexLock lk(&mu_);
+            if (t < term_) {
+              // A demoted primary is still flushing its tail; refuse it so
+              // its stale decisions never reach our tables.
+              return Status::Stale("replication from a stale term");
+            }
+          }
+          AdoptTermIfNewer(t);
+        }
+        vedb::MutexLock lk(&repl_mu_);
+        if (need_snapshot_) {
+          // Mid-resync our stream position is meaningless; applying now
+          // could interleave with the snapshot install. Back off.
+          return Status::Busy("standby is resyncing via snapshot");
+        }
+        for (const CmRecord& rec : records) {
+          if (rec.seq > last_applied_) reorder_[rec.seq] = rec;
+        }
+        // Concurrent primary-side mutators ship out of order; apply the
+        // longest consecutive run and keep the rest buffered.
+        while (!reorder_.empty() &&
+               reorder_.begin()->first == last_applied_ + 1) {
+          {
+            vedb::MutexLock state(&mu_);
+            ApplyRecordLocked(reorder_.begin()->second);
+          }
+          last_applied_++;
+          reorder_.erase(reorder_.begin());
+        }
+        PutFixed64(resp, last_applied_);
+        return Status::OK();
+      });
+  rpc_->RegisterService(
+      node_, "cm.fetch_snapshot", [this](Slice /*req*/, std::string* resp) {
+        node_->cpu()->Access(0, options_.control_op_cost);
+        CmSnapshot snap;
+        {
+          vedb::MutexLock lk(&mu_);
+          if (!IsPrimaryLocked()) {
+            return Status::Stale("cm " + node_->name() + " is not primary");
+          }
+          snap = BuildSnapshotLocked();
+        }
+        EncodeCmSnapshot(resp, snap);
         return Status::OK();
       });
 }

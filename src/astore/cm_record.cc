@@ -1,0 +1,177 @@
+#include "astore/cm_record.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace vedb::astore {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x434d5243;    // "CMRC"
+constexpr uint32_t kSnapshotMagic = 0x434d534e;  // "CMSN"
+
+// Appends crc32c(out[body_start:]) to `out`, masked so records containing
+// embedded CRCs stay well distributed.
+void SealCrc(std::string* out, size_t body_start) {
+  const uint32_t crc =
+      Crc32c(0, out->data() + body_start, out->size() - body_start);
+  PutFixed32(out, MaskCrc(crc));
+}
+
+// Verifies the masked CRC of `body` (the bytes from magic through payload)
+// against the next 4 bytes of `in`, consuming them.
+bool CheckCrc(Slice* in, const char* body, size_t body_len) {
+  Slice raw;
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  const uint32_t expect = UnmaskCrc(DecodeFixed32(raw.data()));
+  return Crc32c(0, body, body_len) == expect;
+}
+
+}  // namespace
+
+void EncodeCmRecord(std::string* out, const CmRecord& rec) {
+  const size_t start = out->size();
+  PutFixed32(out, kRecordMagic);
+  PutFixed64(out, rec.term);
+  PutFixed64(out, rec.seq);
+  out->push_back(static_cast<char>(rec.type));
+
+  std::string payload;
+  switch (rec.type) {
+    case CmRecordType::kLease:
+      PutFixed64(&payload, rec.client);
+      PutFixed64(&payload, rec.expiry);
+      break;
+    case CmRecordType::kLeasePrune:
+      PutFixed64(&payload, rec.cutoff);
+      break;
+    case CmRecordType::kRouteUpsert:
+      EncodeSegmentRoute(&payload, rec.route);
+      break;
+    case CmRecordType::kRouteErase:
+    case CmRecordType::kCreateBegin:
+      PutFixed64(&payload, rec.segment);
+      break;
+  }
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  SealCrc(out, start);
+}
+
+bool DecodeCmRecord(Slice* in, CmRecord* rec) {
+  const char* body = in->data();
+  Slice raw;
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  if (DecodeFixed32(raw.data()) != kRecordMagic) return false;
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  rec->term = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  rec->seq = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 1, &raw)) return false;
+  const uint8_t type = static_cast<uint8_t>(raw.data()[0]);
+  if (type < static_cast<uint8_t>(CmRecordType::kLease) ||
+      type > static_cast<uint8_t>(CmRecordType::kCreateBegin)) {
+    return false;
+  }
+  rec->type = static_cast<CmRecordType>(type);
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  const uint32_t payload_len = DecodeFixed32(raw.data());
+  Slice payload;
+  if (!GetFixedBytes(in, payload_len, &payload)) return false;
+  if (!CheckCrc(in, body, static_cast<size_t>(in->data() - body))) {
+    return false;
+  }
+
+  rec->client = 0;
+  rec->expiry = 0;
+  rec->cutoff = 0;
+  rec->route = SegmentRoute{};
+  rec->segment = 0;
+  switch (rec->type) {
+    case CmRecordType::kLease:
+      if (!GetFixedBytes(&payload, 8, &raw)) return false;
+      rec->client = DecodeFixed64(raw.data());
+      if (!GetFixedBytes(&payload, 8, &raw)) return false;
+      rec->expiry = DecodeFixed64(raw.data());
+      break;
+    case CmRecordType::kLeasePrune:
+      if (!GetFixedBytes(&payload, 8, &raw)) return false;
+      rec->cutoff = DecodeFixed64(raw.data());
+      break;
+    case CmRecordType::kRouteUpsert:
+      if (!DecodeSegmentRoute(&payload, &rec->route)) return false;
+      break;
+    case CmRecordType::kRouteErase:
+    case CmRecordType::kCreateBegin:
+      if (!GetFixedBytes(&payload, 8, &raw)) return false;
+      rec->segment = DecodeFixed64(raw.data());
+      break;
+  }
+  return payload.empty();
+}
+
+void EncodeCmSnapshot(std::string* out, const CmSnapshot& snap) {
+  const size_t start = out->size();
+  PutFixed32(out, kSnapshotMagic);
+  PutFixed64(out, snap.term);
+  PutFixed32(out, snap.leader_id);
+  PutFixed64(out, snap.last_seq);
+  PutFixed64(out, snap.next_segment_id);
+  PutFixed32(out, static_cast<uint32_t>(snap.routes.size()));
+  for (const SegmentRoute& route : snap.routes) {
+    EncodeSegmentRoute(out, route);
+  }
+  PutFixed32(out, static_cast<uint32_t>(snap.leases.size()));
+  for (const auto& [client, expiry] : snap.leases) {
+    PutFixed64(out, client);
+    PutFixed64(out, expiry);
+  }
+  PutFixed32(out, static_cast<uint32_t>(snap.pending_creates.size()));
+  for (SegmentId id : snap.pending_creates) PutFixed64(out, id);
+  SealCrc(out, start);
+}
+
+bool DecodeCmSnapshot(Slice* in, CmSnapshot* snap) {
+  const char* body = in->data();
+  Slice raw;
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  if (DecodeFixed32(raw.data()) != kSnapshotMagic) return false;
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  snap->term = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  snap->leader_id = DecodeFixed32(raw.data());
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  snap->last_seq = DecodeFixed64(raw.data());
+  if (!GetFixedBytes(in, 8, &raw)) return false;
+  snap->next_segment_id = DecodeFixed64(raw.data());
+
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  uint32_t n = DecodeFixed32(raw.data());
+  snap->routes.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    SegmentRoute route;
+    if (!DecodeSegmentRoute(in, &route)) return false;
+    snap->routes.push_back(std::move(route));
+  }
+
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  n = DecodeFixed32(raw.data());
+  snap->leases.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!GetFixedBytes(in, 8, &raw)) return false;
+    const ClientId client = DecodeFixed64(raw.data());
+    if (!GetFixedBytes(in, 8, &raw)) return false;
+    snap->leases.emplace_back(client, DecodeFixed64(raw.data()));
+  }
+
+  if (!GetFixedBytes(in, 4, &raw)) return false;
+  n = DecodeFixed32(raw.data());
+  snap->pending_creates.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!GetFixedBytes(in, 8, &raw)) return false;
+    snap->pending_creates.push_back(DecodeFixed64(raw.data()));
+  }
+  return CheckCrc(in, body, static_cast<size_t>(in->data() - body));
+}
+
+}  // namespace vedb::astore

@@ -1,0 +1,87 @@
+// Cluster-manager replication wire formats. Every control-plane mutation on
+// the primary CM becomes one self-validating record — magic, term, sequence
+// number, typed payload, CRC32C — shipped over RpcTransport to the standby
+// CMs; a standby that falls behind (or just adopted a new term) pulls a full
+// CRC-protected snapshot instead of individual records. Both formats reject
+// torn or corrupted bytes at decode time, so a standby can never silently
+// replay garbage into its route or lease tables.
+
+#ifndef VEDB_ASTORE_CM_RECORD_H_
+#define VEDB_ASTORE_CM_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "astore/segment.h"
+#include "common/slice.h"
+#include "common/units.h"
+
+namespace vedb::astore {
+
+// A term names one primacy interval: `(round << 16) | node_id` of the CM
+// that leads it. Terms from different CMs can never collide, and a higher
+// round always wins, so comparing raw term values totally orders leaders.
+inline uint64_t MakeTerm(uint64_t round, uint32_t node_id) {
+  return (round << 16) | (node_id & 0xffff);
+}
+inline uint64_t TermRound(uint64_t term) { return term >> 16; }
+inline uint32_t TermNodeId(uint64_t term) {
+  return static_cast<uint32_t>(term & 0xffff);
+}
+
+enum class CmRecordType : uint8_t {
+  kLease = 1,        // lease granted/renewed: (client, expiry)
+  kLeasePrune = 2,   // all leases with expiry <= cutoff dropped
+  kRouteUpsert = 3,  // full route replace; also commits a pending create
+  kRouteErase = 4,   // route dropped (delete, or an aborted create)
+  kCreateBegin = 5,  // segment id reserved before its allocations start
+};
+
+/// One replicated state change. Which payload fields are meaningful depends
+/// on `type`; unused fields stay zero so records compare and encode
+/// deterministically.
+struct CmRecord {
+  uint64_t term = 0;
+  uint64_t seq = 0;  // dense per-stream sequence, continues across terms
+  CmRecordType type = CmRecordType::kLease;
+  ClientId client = 0;     // kLease
+  Timestamp expiry = 0;    // kLease
+  Timestamp cutoff = 0;    // kLeasePrune
+  SegmentRoute route;      // kRouteUpsert
+  SegmentId segment = 0;   // kRouteErase / kCreateBegin
+};
+
+/// Appends the record in wire form:
+///   magic(4) | term(8) | seq(8) | type(1) | payload_len(4) | payload |
+///   crc32c(4, over everything before it)
+void EncodeCmRecord(std::string* out, const CmRecord& rec);
+
+/// Decodes one record from the front of `in`, advancing it. Returns false
+/// on bad magic, truncation, unknown type, or CRC mismatch.
+bool DecodeCmRecord(Slice* in, CmRecord* rec);
+
+/// Full CM state transfer: what a standby installs wholesale when it cannot
+/// (or should not) catch up record by record.
+struct CmSnapshot {
+  uint64_t term = 0;
+  uint32_t leader_id = 0;
+  uint64_t last_seq = 0;  // the stream position this snapshot captures
+  SegmentId next_segment_id = 1;
+  std::vector<SegmentRoute> routes;                    // sorted by id
+  std::vector<std::pair<ClientId, Timestamp>> leases;  // sorted by client
+  std::vector<SegmentId> pending_creates;              // sorted
+};
+
+/// Appends the snapshot in wire form (magic, header, routes, leases,
+/// pending creates, trailing CRC32C over everything before it).
+void EncodeCmSnapshot(std::string* out, const CmSnapshot& snap);
+
+/// Decodes a snapshot from the front of `in`, advancing it. Returns false
+/// on bad magic, truncation, or CRC mismatch.
+bool DecodeCmSnapshot(Slice* in, CmSnapshot* snap);
+
+}  // namespace vedb::astore
+
+#endif  // VEDB_ASTORE_CM_RECORD_H_

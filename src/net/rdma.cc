@@ -69,6 +69,13 @@ Status RdmaFabric::PrepareChain(sim::SimNode* initiator,
     breakdown->network = options_.timeout_latency;
     return Status::Unavailable("rdma target " + target->name() + " is down");
   }
+  if (!env_->faults()->Reachable(initiator->name(), target->name())) {
+    // A partitioned target times out the QP exactly like a dead one.
+    breakdown->end = breakdown->start + options_.timeout_latency;
+    breakdown->network = options_.timeout_latency;
+    return Status::Unavailable("rdma target " + target->name() +
+                               " is unreachable (network partition)");
+  }
 
   // Timing: one doorbell, then each WR flows initiator NIC -> wire ->
   // target NIC -> target media, strictly ordered within the chain. The

@@ -97,6 +97,12 @@ std::vector<Status> RpcTransport::CallScatter(
       completions[i] = t0 + options_.timeout_latency;
       continue;
     }
+    if (!env_->faults()->Reachable(client->name(), server->name())) {
+      statuses[i] = Status::Unavailable("rpc target " + server->name() +
+                                        " is unreachable (network partition)");
+      completions[i] = t0 + options_.timeout_latency;
+      continue;
+    }
     TimedRpcHandler handler;
     {
       vedb::MutexLock lk(&mu_);
@@ -212,6 +218,15 @@ Status RpcTransport::Call(sim::SimNode* client, sim::SimNode* server,
     if (opts.deadline != 0 && opts.deadline < wake) wake = opts.deadline;
     env_->clock()->SleepUntil(wake);
     return Status::Unavailable("rpc target " + server->name() + " is down");
+  }
+  if (!env_->faults()->Reachable(client->name(), server->name())) {
+    // A partitioned target is indistinguishable from a dead one to the
+    // caller: same timeout burn, same status.
+    Timestamp wake = begin + options_.timeout_latency;
+    if (opts.deadline != 0 && opts.deadline < wake) wake = opts.deadline;
+    env_->clock()->SleepUntil(wake);
+    return Status::Unavailable("rpc target " + server->name() +
+                               " is unreachable (network partition)");
   }
 
   RpcHandler handler;

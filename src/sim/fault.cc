@@ -39,4 +39,38 @@ uint64_t FaultInjector::InjectedCount(const std::string& site) const {
   return it == rules_.end() ? 0 : it->second.injected;
 }
 
+namespace {
+
+std::pair<std::string, std::string> LinkKey(const std::string& a,
+                                            const std::string& b) {
+  return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+void FaultInjector::Partition(const std::vector<std::string>& group_a,
+                              const std::vector<std::string>& group_b) {
+  vedb::MutexLock lk(&mu_);
+  for (const std::string& a : group_a) {
+    for (const std::string& b : group_b) {
+      if (a == b) continue;  // a node always reaches itself
+      cut_links_.insert(LinkKey(a, b));
+    }
+  }
+  any_partition_.store(!cut_links_.empty(), std::memory_order_release);
+}
+
+void FaultInjector::HealPartition() {
+  vedb::MutexLock lk(&mu_);
+  cut_links_.clear();
+  any_partition_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::Reachable(const std::string& a,
+                              const std::string& b) const {
+  if (!any_partition_.load(std::memory_order_acquire)) return true;
+  vedb::MutexLock lk(&mu_);
+  return cut_links_.find(LinkKey(a, b)) == cut_links_.end();
+}
+
 }  // namespace vedb::sim

@@ -5,8 +5,12 @@
 #ifndef VEDB_SIM_FAULT_H_
 #define VEDB_SIM_FAULT_H_
 
+#include <atomic>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -36,6 +40,25 @@ class FaultInjector {
   /// Number of failures injected at `site` so far.
   uint64_t InjectedCount(const std::string& site) const;
 
+  // ---- Network partitions. A partition is a symmetric cut between two
+  // node groups: traffic between any node of `group_a` and any node of
+  // `group_b` behaves exactly like a dead target (RPC and RDMA both honor
+  // it). Partitions accumulate: each call adds more blocked pairs until
+  // HealPartition() removes them all. Crash-of-a-node is the other fault
+  // primitive and stays SimNode::SetAlive(false) — a crashed node is
+  // unreachable from everyone, a partitioned node only across the cut. ----
+
+  /// Cuts all links between the two (disjoint) groups, both directions.
+  void Partition(const std::vector<std::string>& group_a,
+                 const std::vector<std::string>& group_b);
+
+  /// Removes every active cut (full connectivity again).
+  void HealPartition();
+
+  /// True when traffic `a` -> `b` may flow (no cut in between). Symmetric.
+  /// Hot path: a single relaxed atomic when no partition is active.
+  bool Reachable(const std::string& a, const std::string& b) const;
+
  private:
   struct Rule {
     double probability = 0.0;
@@ -48,6 +71,10 @@ class FaultInjector {
   mutable Mutex mu_{"sim.fault"};
   std::map<std::string, Rule> rules_ GUARDED_BY(mu_);
   Random rng_ GUARDED_BY(mu_);
+  // Blocked node pairs, stored with the lexicographically smaller name
+  // first so lookups are order-independent.
+  std::set<std::pair<std::string, std::string>> cut_links_ GUARDED_BY(mu_);
+  std::atomic<bool> any_partition_{false};
 };
 
 }  // namespace vedb::sim

@@ -34,13 +34,30 @@ VedbCluster::VedbCluster(const ClusterOptions& options)
                                                    blob_nodes_,
                                                    options_.blob_store);
 
-  // AStore: CM + PMem servers + EBP server agents.
-  sim::NodeConfig cm_cfg;
-  cm_cfg.cpu_cores = options_.storage_cores;
-  cm_cfg.storage = sim::HardwareProfile::NvmeSsd(env_.NextSeed());
-  cm_node_ = env_.AddNode("cm", cm_cfg);
-  cm_ = std::make_unique<astore::ClusterManager>(&env_, rpc_.get(), cm_node_,
-                                                 options_.cluster_manager);
+  // AStore: CM (or a CM replication group) + PMem servers + EBP server
+  // agents. The single-CM layout keeps the historical node name "cm" and
+  // the same seed draws, so existing seeded runs stay byte-identical.
+  const int cm_count = options_.cm_replicas < 1 ? 1 : options_.cm_replicas;
+  for (int i = 0; i < cm_count; ++i) {
+    sim::NodeConfig cm_cfg;
+    cm_cfg.cpu_cores = options_.storage_cores;
+    cm_cfg.storage = sim::HardwareProfile::NvmeSsd(env_.NextSeed());
+    const std::string name =
+        cm_count == 1 ? "cm" : "cm-" + std::to_string(i);
+    cm_nodes_.push_back(env_.AddNode(name, cm_cfg));
+    astore::ClusterManager::Options cm_opts = options_.cluster_manager;
+    cm_opts.node_id = static_cast<uint32_t>(i);
+    cms_.push_back(std::make_unique<astore::ClusterManager>(
+        &env_, rpc_.get(), cm_nodes_.back(), cm_opts));
+  }
+  if (cm_count > 1) {
+    std::vector<astore::CmPeer> peers;
+    for (int i = 0; i < cm_count; ++i) {
+      peers.push_back(
+          astore::CmPeer{static_cast<uint32_t>(i), cm_nodes_[i]});
+    }
+    for (auto& cm : cms_) cm->SetPeers(peers);
+  }
   for (int i = 0; i < options_.astore_nodes; ++i) {
     sim::NodeConfig cfg;
     cfg.cpu_cores = options_.storage_cores;
@@ -48,7 +65,7 @@ VedbCluster::VedbCluster(const ClusterOptions& options)
     sim::SimNode* node = env_.AddNode("pmem-" + std::to_string(i), cfg);
     astore_servers_.push_back(std::make_unique<astore::AStoreServer>(
         &env_, rpc_.get(), fabric_.get(), node, options_.astore_server));
-    cm_->RegisterServer(astore_servers_.back().get());
+    for (auto& cm : cms_) cm->RegisterServer(astore_servers_.back().get());
     ebp_agents_.push_back(std::make_unique<ebp::EbpServerAgent>(
         &env_, rpc_.get(), astore_servers_.back().get()));
   }
@@ -81,8 +98,9 @@ void VedbCluster::BuildEngine() {
   // Storage SDK clients. The log and the EBP use distinct client
   // identities so a recovering engine can tell their segments apart.
   astore_client_ = std::make_unique<astore::AStoreClient>(
-      &env_, rpc_.get(), fabric_.get(), cm_node_, engine_node_,
+      &env_, rpc_.get(), fabric_.get(), cm_nodes_.front(), engine_node_,
       /*client_id=*/1, options_.astore_client);
+  if (cm_nodes_.size() > 1) astore_client_->SetCmEndpoints(cm_nodes_);
   VEDB_CHECK(astore_client_->Connect().ok(), "astore connect failed");
 
   if (options_.use_astore_log) {
@@ -103,8 +121,9 @@ void VedbCluster::BuildEngine() {
 
   if (options_.enable_ebp) {
     ebp_astore_client_ = std::make_unique<astore::AStoreClient>(
-        &env_, rpc_.get(), fabric_.get(), cm_node_, engine_node_,
+        &env_, rpc_.get(), fabric_.get(), cm_nodes_.front(), engine_node_,
         /*client_id=*/2, EbpClientOptions(options_.astore_client));
+    if (cm_nodes_.size() > 1) ebp_astore_client_->SetCmEndpoints(cm_nodes_);
     VEDB_CHECK(ebp_astore_client_->Connect().ok(), "ebp connect failed");
     ebp_ = std::make_unique<ebp::ExtendedBufferPool>(
         &env_, ebp_astore_client_.get(), options_.ebp);
@@ -121,13 +140,19 @@ std::vector<astore::AStoreServer*> VedbCluster::astore_servers() {
   return out;
 }
 
+std::vector<astore::ClusterManager*> VedbCluster::cluster_managers() {
+  std::vector<astore::ClusterManager*> out;
+  for (auto& cm : cms_) out.push_back(cm.get());
+  return out;
+}
+
 void VedbCluster::StartBackground() {
   if (background_started_) return;
   background_ = std::make_unique<sim::ActorGroup>(env_.clock());
   for (auto& server : astore_servers_) {
     server->StartBackground(background_.get());
   }
-  cm_->StartBackground(background_.get());
+  for (auto& cm : cms_) cm->StartBackground(background_.get());
   pagestore_->StartBackground(background_.get());
   astore_client_->StartBackground(background_.get());
   if (ebp_ != nullptr) {
@@ -141,8 +166,11 @@ void VedbCluster::StartBackground() {
 
 void VedbCluster::Shutdown() {
   if (!background_started_) return;
+  // Flag everything first, then drain the CMs: a CM drain is a real-time
+  // wait, and any loop not yet flagged would free-run virtual time through
+  // it nondeterministically.
   for (auto& server : astore_servers_) server->Shutdown();
-  cm_->Shutdown();
+  for (auto& cm : cms_) cm->RequestShutdown();
   pagestore_->Shutdown();
   astore_client_->Shutdown();
   if (ebp_ != nullptr) {
@@ -150,6 +178,7 @@ void VedbCluster::Shutdown() {
     ebp_->Shutdown();
   }
   engine_->Shutdown();
+  for (auto& cm : cms_) cm->Shutdown();
   background_->JoinAll();
   background_.reset();
   background_started_ = false;
@@ -171,8 +200,10 @@ Status VedbCluster::CrashAndRecoverEngine(
   ebp_.reset();
   owned_log_.reset();
   log_ = nullptr;
-  const std::vector<astore::SegmentId> log_segments = cm_->ListSegments(1);
-  const std::vector<astore::SegmentId> ebp_segments = cm_->ListSegments(2);
+  const std::vector<astore::SegmentId> log_segments =
+      cluster_manager()->ListSegments(1);
+  const std::vector<astore::SegmentId> ebp_segments =
+      cluster_manager()->ListSegments(2);
   astore_client_.reset();
   ebp_astore_client_.reset();
 
@@ -180,8 +211,9 @@ Status VedbCluster::CrashAndRecoverEngine(
   // headers), replay the durable log tail, rebuild indexes from storage,
   // and re-attach the surviving EBP pages.
   astore_client_ = std::make_unique<astore::AStoreClient>(
-      &env_, rpc_.get(), fabric_.get(), cm_node_, engine_node_, 1,
+      &env_, rpc_.get(), fabric_.get(), cm_nodes_.front(), engine_node_, 1,
       options_.astore_client);
+  if (cm_nodes_.size() > 1) astore_client_->SetCmEndpoints(cm_nodes_);
   VEDB_RETURN_IF_ERROR(astore_client_->Connect());
 
   std::vector<astore::LogRecord> tail;
@@ -194,8 +226,9 @@ Status VedbCluster::CrashAndRecoverEngine(
 
   if (options_.enable_ebp) {
     ebp_astore_client_ = std::make_unique<astore::AStoreClient>(
-        &env_, rpc_.get(), fabric_.get(), cm_node_, engine_node_, 2,
+        &env_, rpc_.get(), fabric_.get(), cm_nodes_.front(), engine_node_, 2,
         EbpClientOptions(options_.astore_client));
+    if (cm_nodes_.size() > 1) ebp_astore_client_->SetCmEndpoints(cm_nodes_);
     VEDB_RETURN_IF_ERROR(ebp_astore_client_->Connect());
     ebp_ = std::make_unique<ebp::ExtendedBufferPool>(
         &env_, ebp_astore_client_.get(), options_.ebp);

@@ -35,6 +35,11 @@ struct ClusterOptions {
   /// cores).
   int blob_nodes = 3;
   int astore_nodes = 3;
+  /// Cluster-manager replication group size. 1 (the default) is the classic
+  /// single CM on a node named "cm" — byte-identical to historical runs.
+  /// With N > 1 the CMs live on "cm-0".."cm-N-1" (node ids 0..N-1, cm-0 the
+  /// initial primary) and the SDK clients get the full endpoint list.
+  int cm_replicas = 1;
   int pagestore_nodes = 3;
   int engine_cores = 20;
   int storage_cores = 32;
@@ -60,7 +65,9 @@ class VedbCluster {
   ebp::ExtendedBufferPool* ebp() { return ebp_.get(); }
   pagestore::PageStoreCluster* pagestore() { return pagestore_.get(); }
   logstore::LogStore* log() { return log_; }
-  astore::ClusterManager* cluster_manager() { return cm_.get(); }
+  /// The initial-primary CM (the only one when cm_replicas == 1).
+  astore::ClusterManager* cluster_manager() { return cms_.front().get(); }
+  std::vector<astore::ClusterManager*> cluster_managers();
   astore::AStoreClient* astore_client() { return astore_client_.get(); }
   net::RpcTransport* rpc() { return rpc_.get(); }
   net::RdmaFabric* fabric() { return fabric_.get(); }
@@ -93,11 +100,11 @@ class VedbCluster {
 
   std::vector<sim::SimNode*> blob_nodes_;
   std::vector<sim::SimNode*> pagestore_nodes_;
-  sim::SimNode* cm_node_ = nullptr;
+  std::vector<sim::SimNode*> cm_nodes_;  // [0] is the initial primary
   sim::SimNode* engine_node_ = nullptr;
 
   std::unique_ptr<blob::BlobStoreCluster> blob_;
-  std::unique_ptr<astore::ClusterManager> cm_;
+  std::vector<std::unique_ptr<astore::ClusterManager>> cms_;
   std::vector<std::unique_ptr<astore::AStoreServer>> astore_servers_;
   std::vector<std::unique_ptr<ebp::EbpServerAgent>> ebp_agents_;
   std::unique_ptr<pagestore::PageStoreCluster> pagestore_;

@@ -265,6 +265,49 @@ TEST(AStoreRetryTest, NonRetriableStatusesSurfaceImmediately) {
   c.env.clock()->UnregisterActor();
 }
 
+TEST(AStoreRetryTest, LeaseRenewFailureIsCountedWithCause) {
+  obs::MetricsRegistry::Default().RemoveAllForTesting();
+  MiniCluster c(18);
+  c.env.clock()->RegisterActor();
+  ASSERT_TRUE(c.client->Connect().ok());
+
+  // Partition the client away from its only CM: renewal retries through
+  // its whole budget, then surfaces — and the failure is attributable in
+  // the exported counter by cause.
+  c.env.faults()->Partition({"cm"}, {"dbe"});
+  Status s = c.client->RenewLease();
+  ASSERT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_GT(SumCounter("astore.client.lease_renew_failures"), 0u);
+  EXPECT_GT(SumCounter("astore.client.retries"), 0u);
+
+  // Healed: the next renewal goes straight through.
+  c.env.faults()->HealPartition();
+  EXPECT_TRUE(c.client->RenewLease().ok());
+  c.env.clock()->UnregisterActor();
+}
+
+TEST(AStoreRetryTest, WritesFailFastWithLeaseExpiredWhenNoCmReachable) {
+  obs::MetricsRegistry::Default().RemoveAllForTesting();
+  MiniCluster c(19);
+  c.env.clock()->RegisterActor();
+  ASSERT_TRUE(c.client->Connect().ok());
+  auto res = c.client->CreateSegment(1 * kMiB, 3);
+  ASSERT_TRUE(res.ok());
+  SegmentHandlePtr seg = res.value();
+
+  // Every CM endpoint is gone and the lease has lapsed. The write must
+  // surface LeaseExpired immediately — not burn the full retry budget
+  // probing dead CMs for a renewal that cannot happen.
+  c.cm_node->SetAlive(false);
+  c.client->ExpireLeaseForTest();
+  const Timestamp before = c.env.clock()->Now();
+  Status s = c.client->Append(seg, Slice("zombie"), nullptr);
+  EXPECT_TRUE(s.IsLeaseExpired()) << s.ToString();
+  EXPECT_LT(c.env.clock()->Now() - before, 1 * kMillisecond);
+  EXPECT_EQ(SumCounter("astore.client.retries"), 0u);
+  c.env.clock()->UnregisterActor();
+}
+
 // Acceptance scenario: a seeded closed-loop append workload with one
 // AStore server crashing mid-run must finish with ZERO errors surfaced to
 // the driver, a positive retry count in the exported snapshot, and a
