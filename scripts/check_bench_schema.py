@@ -131,6 +131,37 @@ def check_cm_failover_chaos(doc, filename):
            "retries extra disagrees with the snapshot counter")
 
 
+def check_scrub_chaos(doc, filename):
+    """Bench-specific contract for bench_scrub_chaos: the integrity
+    acceptance bar (durability oracle, clean replicas, determinism) must be
+    visible in the results document, and the repair/quarantine extras must
+    agree with the embedded snapshot's counters."""
+    for key in ("chaos_pass", "deterministic", "durability_ok",
+                "replicas_clean"):
+        expect(isinstance(doc.get(key), bool), filename,
+               f"missing boolean '{key}'")
+    for key in ("operations", "errors", "retries", "injected",
+                "corrupt_reads", "read_repairs", "scrub_repairs",
+                "scrub_reports", "quarantines", "rebuilds"):
+        expect(isinstance(doc.get(key), int), filename,
+               f"missing integer '{key}'")
+    snap = doc["configs"][0]
+    expect(snap.get("run_label") == "scrub_chaos", filename,
+           "first config must carry run_label 'scrub_chaos'")
+    for prefix in ("astore.scrub.", "astore.repair."):
+        expect(any(s["name"].startswith(prefix)
+                   for s in snap.get("counters", [])), filename,
+               f"snapshot lacks any '{prefix}*' counter — the scrubber or "
+               "repair path did not run")
+    for extra, counter in (("scrub_repairs", "astore.scrub.repairs"),
+                           ("read_repairs", "astore.repair.read_repairs"),
+                           ("quarantines", "astore.repair.quarantines")):
+        total = sum(s["value"] for s in snap.get("counters", [])
+                    if s["name"] == counter)
+        expect(total == doc[extra], filename,
+               f"{extra} extra disagrees with the '{counter}' snapshot sum")
+
+
 def check_breakdown(bd, path):
     if bd is None:
         return
@@ -164,6 +195,8 @@ def check_file(filename):
         check_noisy_neighbor(doc, filename)
     if doc["bench"] == "cm_failover_chaos":
         check_cm_failover_chaos(doc, filename)
+    if doc["bench"] == "scrub_chaos":
+        check_scrub_chaos(doc, filename)
     if "breakdown" in doc:
         check_breakdown(doc["breakdown"], f"{filename}.breakdown")
     if "trace_spans" in doc:

@@ -19,6 +19,7 @@ const char* CauseLabel(const Status& s) {
     case Status::Code::kTimedOut: return "timed_out";
     case Status::Code::kIOError: return "io_error";
     case Status::Code::kBusy: return "busy";
+    case Status::Code::kDataLoss: return "data_loss";
     default: return "other";
   }
 }
@@ -46,6 +47,8 @@ AStoreClient::AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
   route_refreshes_ = reg.GetCounter("astore.client.route_refreshes");
   unfreezes_ = reg.GetCounter("astore.client.unfreezes");
   cm_failovers_ = reg.GetCounter("astore.client.cm_failovers");
+  corrupt_reads_ = reg.GetCounter("astore.client.corrupt_reads");
+  read_repairs_ = reg.GetCounter("astore.repair.read_repairs");
 }
 
 void AStoreClient::SetCmEndpoints(std::vector<sim::SimNode*> endpoints) {
@@ -58,7 +61,11 @@ bool AStoreClient::Retriable(const Status& s) const {
   // Transient by construction: node down, route out of date, deadline
   // expiry, fabric hiccup, slot churn. Everything else — LeaseExpired,
   // NoSpace, NotFound, Corruption, InvalidArgument — is a fact a retry
-  // cannot change.
+  // cannot change. DataLoss is deliberately NOT here: it is only retriable
+  // via a *different* replica, and ReadInternal already fails over across
+  // every live replica within one attempt — by the time DataLoss reaches
+  // this predicate, every copy was tried and re-reading the same replicas
+  // would just serve the same rot.
   return s.IsUnavailable() || s.IsStale() || s.IsTimedOut() || s.IsIOError() ||
          s.IsBusy();
 }
@@ -420,6 +427,18 @@ Status AStoreClient::VerifyPersisted(const SegmentHandlePtr& handle,
 
 Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
                           uint64_t len, char* out) {
+  return ReadWithRecovery(handle, offset, len, out, ReadOptions{});
+}
+
+Status AStoreClient::ReadVerified(const SegmentHandlePtr& handle,
+                                  uint64_t offset, uint64_t len, char* out,
+                                  const ReadOptions& read_opts) {
+  return ReadWithRecovery(handle, offset, len, out, read_opts);
+}
+
+Status AStoreClient::ReadWithRecovery(const SegmentHandlePtr& handle,
+                                      uint64_t offset, uint64_t len, char* out,
+                                      const ReadOptions& read_opts) {
   qos::Ticket ticket;
   if (options_.admission != nullptr) {
     VEDB_ASSIGN_OR_RETURN(
@@ -432,7 +451,7 @@ Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
       return Status::InvalidArgument("read past segment end");
     }
   }
-  Status s = ReadInternal(handle, offset, len, out);
+  Status s = ReadInternal(handle, offset, len, out, read_opts);
   const RetryPolicy& rp = options_.retry;
   if (s.ok() || !rp.enabled) return s;
   const Timestamp deadline =
@@ -449,13 +468,14 @@ Status AStoreClient::Read(const SegmentHandlePtr& handle, uint64_t offset,
     // discard-ok: an unreachable CM keeps the cached route.
     (void)RefreshRoute(handle);
     if (handle->stale()) return Status::Stale("segment route is stale");
-    s = ReadInternal(handle, offset, len, out);
+    s = ReadInternal(handle, offset, len, out, read_opts);
   }
   return s;
 }
 
 Status AStoreClient::ReadInternal(const SegmentHandlePtr& handle,
-                                  uint64_t offset, uint64_t len, char* out) {
+                                  uint64_t offset, uint64_t len, char* out,
+                                  const ReadOptions& read_opts) {
   VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("astore.client.read"));
   const Timestamp t0 = env_->clock()->Now();
   obs::SpanScope span(obs::Tracer::Global(), "astore.client.read");
@@ -466,19 +486,52 @@ Status AStoreClient::ReadInternal(const SegmentHandlePtr& handle,
 
   // "Selects an online copy to read through one-sided RDMA READ." A failed
   // copy does not fail the read: we fail over to the next replica and only
-  // surface the last error once every copy has been tried.
+  // surface the last error once every copy has been tried. A copy that
+  // *answers* but fails integrity (short completion or verifier mismatch)
+  // is treated the same way, except it is remembered for read-repair and
+  // the surfaced status is DataLoss, never a transport error.
   const uint64_t start = read_rr_.fetch_add(1);
   Status last = Status::Unavailable("no live replica for segment");
+  std::vector<size_t> bad;  // replica indices that served corrupt bytes
   for (size_t i = 0; i < route.replicas.size(); ++i) {
-    const auto& loc = route.replicas[(start + i) % route.replicas.size()];
+    const size_t idx = (start + i) % route.replicas.size();
+    const auto& loc = route.replicas[idx];
     sim::SimNode* node = env_->GetNode(loc.node);
     if (!node->alive()) continue;
     Status s = env_->faults()->MaybeFail("astore.client.read.replica");
     if (s.ok()) {
+      // Simulated DMA completion length. The "astore.client.read.short"
+      // site models a replica NIC aborting mid-transfer: only part of the
+      // requested range lands in the buffer and the completion reports the
+      // smaller length.
+      uint64_t completed = len;
+      Status torn = env_->faults()->MaybeFail("astore.client.read.short");
+      if (!torn.ok() && len > 0) completed = len / 2;
       s = fabric_->Read(client_node_, loc.region, loc.base_offset + offset,
-                        len, out);
+                        completed, out);
+      if (s.ok()) {
+        // Completion length first, checksum second: handing a sliced
+        // buffer to the verifier could let a checksum covering a shorter
+        // prefix record pass as the whole range.
+        if (completed != len) {
+          s = Status::DataLoss("replica completed a short read");
+        } else if (read_opts.verify) {
+          Status v = read_opts.verify(Slice(out, len));
+          if (!v.ok()) {
+            s = Status::DataLoss(v.message().empty() ? "checksum mismatch"
+                                                     : v.message());
+          }
+        }
+        if (s.IsDataLoss()) {
+          corrupt_reads_->Add(1);
+          bad.push_back(idx);
+        }
+      }
     }
     if (s.ok()) {
+      if (!bad.empty() && read_opts.read_repair) {
+        RepairReplicas(handle, route, bad, offset, Slice(out, len));
+      }
       reads_->Add(1);
       read_ns_->Observe(env_->clock()->Now() - t0);
       return s;
@@ -486,6 +539,79 @@ Status AStoreClient::ReadInternal(const SegmentHandlePtr& handle,
     last = std::move(s);
   }
   return last;
+}
+
+void AStoreClient::RepairReplicas(const SegmentHandlePtr& handle,
+                                  const SegmentRoute& route,
+                                  const std::vector<size_t>& bad,
+                                  uint64_t offset, Slice good) {
+  for (size_t idx : bad) {
+    Status s = WriteReplica(handle, idx, offset, good, route.epoch);
+    if (s.ok()) read_repairs_->Add(1);
+    // A failed repair is left for the next read or the scrubber.
+  }
+}
+
+Status AStoreClient::WriteReplica(const SegmentHandlePtr& handle,
+                                  size_t replica_idx, uint64_t offset,
+                                  Slice data, uint64_t route_epoch) {
+  SegmentRoute route = handle->route();
+  // Epoch guard: if the CM moved the route since the caller captured it,
+  // `replica_idx` may now point at a freshly rebuilt copy, and a concurrent
+  // writer may have re-posted newer bytes — either way the other party
+  // wins and the repair is dropped (the scrubber will catch real rot).
+  if (route.epoch != route_epoch) {
+    return Status::Stale("route epoch moved; repair dropped");
+  }
+  if (replica_idx >= route.replicas.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  if (data.size() > route.size || offset > route.size - data.size()) {
+    return Status::InvalidArgument("write past segment end");
+  }
+  const auto& loc = route.replicas[replica_idx];
+  sim::SimNode* node = env_->GetNode(loc.node);
+  if (!node->alive()) return Status::Unavailable("replica node is down");
+  // WRITE the verified bytes + flush READ: the same persistence protocol
+  // as the write path, against the one bad replica.
+  std::vector<net::RdmaWorkRequest> chain(2);
+  chain[0].kind = net::RdmaWorkRequest::Kind::kWrite;
+  chain[0].region = loc.region;
+  chain[0].offset = loc.base_offset + offset;
+  chain[0].write_data = data;
+  chain[1].kind = net::RdmaWorkRequest::Kind::kRead;
+  chain[1].region = loc.region;
+  chain[1].offset = loc.base_offset + offset;
+  chain[1].read_len = 0;  // flush-only READ
+  return fabric_->PostChain(client_node_, chain);
+}
+
+Status AStoreClient::ReadReplica(const SegmentHandlePtr& handle,
+                                 size_t replica_idx, uint64_t offset,
+                                 uint64_t len, char* out) {
+  SegmentRoute route = handle->route();
+  if (replica_idx >= route.replicas.size()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  if (len > route.size || offset > route.size - len) {
+    return Status::InvalidArgument("read past segment end");
+  }
+  const auto& loc = route.replicas[replica_idx];
+  sim::SimNode* node = env_->GetNode(loc.node);
+  if (!node->alive()) return Status::Unavailable("replica node is down");
+  return fabric_->Read(client_node_, loc.region, loc.base_offset + offset,
+                       len, out);
+}
+
+Status AStoreClient::ReportCorruptReplica(const SegmentHandlePtr& handle,
+                                          const std::string& node_name) {
+  std::string req, resp;
+  PutLengthPrefixedSlice(&req, Slice(node_name));
+  PutFixed64(&req, handle->id());
+  // Idempotent: quarantining an already-dropped replica is a no-op on the
+  // CM, so per-attempt deadlines and retries are safe.
+  return CmCall("report_corrupt", "cm.report_corrupt", Slice(req), &resp,
+                /*idempotent=*/true);
 }
 
 Status AStoreClient::Delete(const SegmentHandlePtr& handle) {

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -107,6 +108,21 @@ class SegmentHandle {
 
 using SegmentHandlePtr = std::shared_ptr<SegmentHandle>;
 
+/// Integrity options for verified reads. `verify` inspects the returned
+/// bytes (typically the caller's CRC framing); a non-OK result means THIS
+/// replica's copy is bad, and the client fails over to the next replica
+/// within the same attempt. Distinct from transport errors: a corrupt copy
+/// is surfaced as Status::DataLoss and is never retried against the replica
+/// that served it.
+struct ReadOptions {
+  /// Checks the returned bytes; null = length validation only.
+  std::function<Status(Slice)> verify;
+  /// After a later replica serves a good copy, rewrite it over every
+  /// replica that served bad bytes (epoch-guarded: a concurrent route
+  /// change/writer wins and the repair is dropped).
+  bool read_repair = true;
+};
+
 class AStoreClient {
  public:
   struct Options {
@@ -185,6 +201,36 @@ class AStoreClient {
   Status Read(const SegmentHandlePtr& handle, uint64_t offset, uint64_t len,
               char* out);
 
+  /// Read with integrity verification and read-repair (see ReadOptions).
+  /// Every replica's returned completion length is validated against the
+  /// request *before* `verify` runs — a short completion is corruption,
+  /// never a silently sliced buffer. Returns Status::DataLoss when every
+  /// live replica served a bad copy.
+  Status ReadVerified(const SegmentHandlePtr& handle, uint64_t offset,
+                      uint64_t len, char* out, const ReadOptions& read_opts);
+
+  /// Direct read of one replica's copy (no failover, no verification, no
+  /// repair). Lets tests and the scrubber address a specific copy — e.g.
+  /// to confirm a previously-bad replica was actually rewritten.
+  Status ReadReplica(const SegmentHandlePtr& handle, size_t replica_idx,
+                     uint64_t offset, uint64_t len, char* out);
+
+  /// Rewrites [offset, offset+data.size()) on ONE replica and flushes it —
+  /// the repair primitive behind read-repair and scan-repair. Epoch-guarded:
+  /// returns Stale without writing when the handle's current route epoch is
+  /// not `route_epoch` anymore (a concurrent writer or CM rebuild wins).
+  Status WriteReplica(const SegmentHandlePtr& handle, size_t replica_idx,
+                      uint64_t offset, Slice data, uint64_t route_epoch);
+
+  /// Reports `node_name`'s copy of the handle's segment to the CM as
+  /// irreparably corrupt (the scrubber's escalation path after a failed
+  /// in-place repair). The primary CM quarantines that replica — drops it
+  /// from the route, bumps the epoch — and re-replicates the segment onto a
+  /// healthy server. Idempotent: a report against a replica the route no
+  /// longer lists is acknowledged without action.
+  Status ReportCorruptReplica(const SegmentHandlePtr& handle,
+                              const std::string& node_name);
+
   /// Deletes the segment cluster-wide and marks the handle stale.
   Status Delete(const SegmentHandlePtr& handle);
 
@@ -226,8 +272,17 @@ class AStoreClient {
                        Slice data);
   Status WriteWithRecovery(const SegmentHandlePtr& handle, uint64_t offset,
                            Slice data, const char* op);
+  Status ReadWithRecovery(const SegmentHandlePtr& handle, uint64_t offset,
+                          uint64_t len, char* out,
+                          const ReadOptions& read_opts);
   Status ReadInternal(const SegmentHandlePtr& handle, uint64_t offset,
-                      uint64_t len, char* out);
+                      uint64_t len, char* out, const ReadOptions& read_opts);
+  /// Rewrites the verified bytes over the replicas that served bad copies.
+  /// Epoch-guarded: skipped entirely when the route moved past `route`.
+  void RepairReplicas(const SegmentHandlePtr& handle,
+                      const SegmentRoute& route,
+                      const std::vector<size_t>& bad, uint64_t offset,
+                      Slice good);
   /// One CM round trip with retry/backoff on transient failures.
   /// `idempotent` gates the per-attempt RPC deadline (see RetryPolicy).
   Status CmCall(const char* op, const std::string& service, Slice request,
@@ -284,6 +339,8 @@ class AStoreClient {
   obs::Counter* route_refreshes_ = nullptr;
   obs::Counter* unfreezes_ = nullptr;
   obs::Counter* cm_failovers_ = nullptr;
+  obs::Counter* corrupt_reads_ = nullptr;
+  obs::Counter* read_repairs_ = nullptr;
 };
 
 }  // namespace vedb::astore

@@ -17,6 +17,10 @@ ClusterManager::ClusterManager(sim::SimEnvironment* env,
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   term_gauge_ = reg.GetGauge("cm.term", {{"node", node_->name()}});
   failovers_ = reg.GetCounter("cm.failovers", {{"node", node_->name()}});
+  quarantines_ =
+      reg.GetCounter("astore.repair.quarantines", {{"node", node_->name()}});
+  rebuilds_ =
+      reg.GetCounter("astore.repair.rebuilds", {{"node", node_->name()}});
   {
     // Until SetPeers says otherwise this member is a standalone primary.
     vedb::MutexLock lk(&mu_);
@@ -588,6 +592,29 @@ void ClusterManager::CheckHealthNow() {
       ShipRecords(reattach_records);
     }
   }
+
+  // Retry rebuilds that previously found no usable target (each attempt
+  // re-enqueues itself on failure, so an under-replicated segment is
+  // re-attempted every sweep until a server frees up).
+  struct RetryJob {
+    SegmentId id;
+    uint64_t size;
+    ReplicaLocation source;
+  };
+  std::vector<RetryJob> retries;
+  {
+    vedb::MutexLock lk(&mu_);
+    for (SegmentId id : pending_rebuilds_) {
+      auto it = routes_.find(id);
+      if (it == routes_.end() || it->second.replicas.empty()) continue;
+      retries.push_back(
+          RetryJob{id, it->second.size, it->second.replicas.front()});
+    }
+    pending_rebuilds_.clear();
+  }
+  for (const RetryJob& job : retries) {
+    RebuildOneReplica(job.id, job.size, job.source, {});
+  }
 }
 
 void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
@@ -619,49 +646,133 @@ void ClusterManager::RebuildSegmentsOf(const std::string& dead_node) {
   ShipRecords(records);
 
   for (const RebuildJob& job : jobs) {
-    AStoreServer* target = nullptr;
-    {
-      vedb::MutexLock lk(&mu_);
-      // Exclude nodes already carrying a replica.
-      std::vector<std::string> exclude;
-      auto rit = routes_.find(job.id);
-      if (rit == routes_.end()) continue;  // deleted meanwhile
-      for (const auto& loc : rit->second.replicas) exclude.push_back(loc.node);
-      auto picked = PickServersLocked(1, exclude);
-      if (!picked.ok()) continue;  // not enough healthy nodes; stay degraded
-      target = picked.value()[0];
-    }
-    // Ask the new server to pull the bytes from the healthy source.
-    std::string req, resp;
-    PutFixed64(&req, job.id);
-    PutFixed64(&req, job.size);
-    PutLengthPrefixedSlice(&req, Slice(job.source.node));
-    PutFixed64(&req, job.source.base_offset);
-    PutFixed32(&req, job.source.region.value);
-    Status s =
-        rpc_->Call(node_, target->node(), "astore.pull", Slice(req), &resp);
-    if (!s.ok()) {
-      VEDB_LOG(kWarn, "rebuild of segment %llu on %s failed: %s",
-               static_cast<unsigned long long>(job.id),
-               target->node()->name().c_str(), s.ToString().c_str());
-      continue;
-    }
-    Slice in(resp);
-    ReplicaLocation loc;
-    if (!DecodeReplicaLocation(&in, &loc)) continue;
-    std::vector<CmRecord> commit;
-    {
-      vedb::MutexLock lk(&mu_);
-      auto rit = routes_.find(job.id);
-      if (rit == routes_.end()) continue;
-      rit->second.replicas.push_back(loc);
-      rit->second.epoch++;
-      CmRecord rec = MakeRecordLocked(CmRecordType::kRouteUpsert);
-      rec.route = rit->second;
-      commit.push_back(rec);
-    }
-    ShipRecords(commit);
+    RebuildOneReplica(job.id, job.size, job.source, {});
   }
+}
+
+void ClusterManager::RebuildOneReplica(
+    SegmentId id, uint64_t size, const ReplicaLocation& source,
+    const std::vector<std::string>& extra_exclude) {
+  AStoreServer* target = nullptr;
+  {
+    vedb::MutexLock lk(&mu_);
+    // Exclude nodes already carrying a replica, plus the caller's own
+    // exclusions (a quarantined reporter must not get the copy right back),
+    // plus every node a copy of this segment was ever quarantined on (its
+    // PMem region has bad cells; re-hosting there would re-corrupt).
+    std::vector<std::string> exclude = extra_exclude;
+    auto rit = routes_.find(id);
+    if (rit == routes_.end()) return;  // deleted meanwhile
+    for (const auto& loc : rit->second.replicas) exclude.push_back(loc.node);
+    auto qit = quarantined_nodes_.find(id);
+    if (qit != quarantined_nodes_.end()) {
+      exclude.insert(exclude.end(), qit->second.begin(), qit->second.end());
+    }
+    // Also exclude servers still holding an off-route copy awaiting the
+    // deferred cleaner (e.g. a revived node): their Allocate would fail
+    // with AlreadyExists and strand the segment under-replicated.
+    for (const auto& [name, info] : servers_) {
+      if (info.server->HoldsSegmentStorage(id)) exclude.push_back(name);
+    }
+    auto picked = PickServersLocked(1, exclude);
+    if (!picked.ok()) {
+      // No usable target right now (dead nodes, or every spare still holds
+      // a stale pending-clean copy). Queue a retry for the health sweep:
+      // the segment must not stay under-replicated just because placement
+      // hit a momentary dead-end.
+      pending_rebuilds_.insert(id);
+      return;
+    }
+    target = picked.value()[0];
+  }
+  // Ask the new server to pull the bytes from the healthy source.
+  std::string req, resp;
+  PutFixed64(&req, id);
+  PutFixed64(&req, size);
+  PutLengthPrefixedSlice(&req, Slice(source.node));
+  PutFixed64(&req, source.base_offset);
+  PutFixed32(&req, source.region.value);
+  Status s =
+      rpc_->Call(node_, target->node(), "astore.pull", Slice(req), &resp);
+  if (!s.ok()) {
+    VEDB_LOG(kWarn, "rebuild of segment %llu on %s failed: %s",
+             static_cast<unsigned long long>(id),
+             target->node()->name().c_str(), s.ToString().c_str());
+    vedb::MutexLock lk(&mu_);
+    pending_rebuilds_.insert(id);
+    return;
+  }
+  Slice in(resp);
+  ReplicaLocation loc;
+  if (!DecodeReplicaLocation(&in, &loc)) return;
+  std::vector<CmRecord> commit;
+  {
+    vedb::MutexLock lk(&mu_);
+    auto rit = routes_.find(id);
+    if (rit == routes_.end()) return;
+    rit->second.replicas.push_back(loc);
+    rit->second.epoch++;
+    CmRecord rec = MakeRecordLocked(CmRecordType::kRouteUpsert);
+    rec.route = rit->second;
+    commit.push_back(rec);
+  }
+  rebuilds_->Add(1);
+  ShipRecords(commit);
+}
+
+Status ClusterManager::QuarantineReplica(const std::string& node_name,
+                                         SegmentId id) {
+  uint64_t size = 0;
+  ReplicaLocation source;
+  bool rebuild = false;
+  sim::SimNode* reporter = nullptr;
+  std::vector<CmRecord> records;
+  {
+    vedb::MutexLock lk(&mu_);
+    if (!IsPrimaryLocked()) {
+      return Status::Stale("cm " + node_->name() + " is not primary");
+    }
+    auto it = routes_.find(id);
+    if (it == routes_.end()) return Status::NotFound("no such segment");
+    auto rit = std::find_if(
+        it->second.replicas.begin(), it->second.replicas.end(),
+        [&](const ReplicaLocation& l) { return l.node == node_name; });
+    // Stale report: the route already moved past this replica (a concurrent
+    // rebuild or an earlier report won). Acknowledge without action.
+    if (rit == it->second.replicas.end()) return Status::OK();
+    if (it->second.replicas.size() <= 1) {
+      return Status::Unavailable(
+          "refusing to quarantine the last replica of segment " +
+          std::to_string(id));
+    }
+    it->second.replicas.erase(rit);
+    it->second.epoch++;
+    CmRecord rec = MakeRecordLocked(CmRecordType::kRouteUpsert);
+    rec.route = it->second;
+    records.push_back(rec);
+    size = it->second.size;
+    source = it->second.replicas.front();
+    rebuild = options_.auto_rebuild;
+    quarantined_nodes_[id].insert(node_name);
+    auto sit = servers_.find(node_name);
+    if (sit != servers_.end()) reporter = sit->second.server->node();
+    quarantines_->Add(1);
+  }
+  VEDB_LOG(kInfo, "cm %s quarantined replica of segment %llu on %s",
+           node_->name().c_str(), static_cast<unsigned long long>(id),
+           node_name.c_str());
+  // Release the quarantined copy right away (rather than waiting for the
+  // next returned-node sweep): its deferred-clean timer starts now, so the
+  // node becomes a usable rebuild target for OTHER segments sooner.
+  if (reporter != nullptr) {
+    std::string req, resp;
+    PutFixed64(&req, id);
+    // discard-ok: best-effort; the stale-copy health sweep retries this
+    (void)rpc_->Call(node_, reporter, "astore.release", Slice(req), &resp);
+  }
+  ShipRecords(records);
+  if (rebuild) RebuildOneReplica(id, size, source, {node_name});
+  return Status::OK();
 }
 
 Timestamp ClusterManager::AcquireLease(ClientId client) {
@@ -842,6 +953,8 @@ Status ClusterManager::DeleteSegment(sim::SimNode* rpc_client, ClientId client,
     }
     route = it->second;
     routes_.erase(it);
+    pending_rebuilds_.erase(id);
+    quarantined_nodes_.erase(id);
     CmRecord rec = MakeRecordLocked(CmRecordType::kRouteErase);
     rec.segment = id;
     records.push_back(rec);
@@ -929,6 +1042,22 @@ void ClusterManager::RegisterRpcServices() {
           return Status::InvalidArgument("delete req");
         }
         return DeleteSegment(node_, client, DecodeFixed64(raw.data()));
+      });
+  rpc_->RegisterService(
+      node_, "cm.report_corrupt", [this](Slice req, std::string* resp) {
+        node_->cpu()->Access(0, options_.control_op_cost);
+        resp->clear();
+        VEDB_RETURN_IF_ERROR(RequirePrimaryAndStamp(resp));
+        Slice reporter;
+        if (!GetLengthPrefixedSlice(&req, &reporter)) {
+          return Status::InvalidArgument("report req");
+        }
+        Slice raw;
+        if (!GetFixedBytes(&req, 8, &raw)) {
+          return Status::InvalidArgument("report req");
+        }
+        return QuarantineReplica(reporter.ToString(),
+                                 DecodeFixed64(raw.data()));
       });
   rpc_->RegisterService(
       node_, "cm.lease", [this](Slice req, std::string* resp) {

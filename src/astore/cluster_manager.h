@@ -177,6 +177,16 @@ class ClusterManager {
   /// a standby sweep would race the primary's replicated decisions).
   void CheckHealthNow();
 
+  /// Quarantines one replica reported irreparably corrupt (scrubber
+  /// escalation, also reachable via the "cm.report_corrupt" RPC): drops
+  /// `node_name` from the segment's route, bumps the epoch so every cached
+  /// copy of the old route dies, and — with auto_rebuild — re-replicates
+  /// just this segment onto a healthy server, excluding the reporter.
+  /// Refuses (Unavailable) to quarantine the last replica: a corrupt copy
+  /// still beats no copy, and the caller keeps serving what it can.
+  /// A report against a replica the route no longer lists is OK/no-op.
+  Status QuarantineReplica(const std::string& node_name, SegmentId id);
+
  private:
   struct ServerInfo {
     AStoreServer* server = nullptr;
@@ -198,6 +208,13 @@ class ClusterManager {
   void TryElect();
   void Promote();
   void RebuildSegmentsOf(const std::string& dead_node);
+  // Re-replicates one segment onto a freshly picked healthy server (never
+  // one in `extra_exclude` or already carrying a replica), pulling the
+  // bytes from `source`. Call with NO locks held; best-effort — on failure
+  // the segment stays degraded until the next sweep or report.
+  void RebuildOneReplica(SegmentId id, uint64_t size,
+                         const ReplicaLocation& source,
+                         const std::vector<std::string>& extra_exclude);
   Result<std::vector<AStoreServer*>> PickServersLocked(
       int count, const std::vector<std::string>& exclude) const REQUIRES(mu_);
 
@@ -243,6 +260,16 @@ class ClusterManager {
   std::map<SegmentId, SegmentRoute> routes_ GUARDED_BY(mu_);
   std::map<ClientId, Timestamp> leases_ GUARDED_BY(mu_);
   std::set<SegmentId> pending_creates_ GUARDED_BY(mu_);
+  // Segments whose last rebuild attempt found no usable target (e.g. every
+  // spare node still held a stale pending-clean copy). Retried on each
+  // health sweep, so a momentary placement dead-end self-heals instead of
+  // leaving the segment under-replicated forever. Primary-local.
+  std::set<SegmentId> pending_rebuilds_ GUARDED_BY(mu_);
+  // Nodes whose copy of a segment was quarantined as irreparably corrupt
+  // (latent bad cells). Never picked again as a rebuild target for that
+  // segment: re-hosting it on the same PMem region would re-corrupt.
+  std::map<SegmentId, std::set<std::string>> quarantined_nodes_
+      GUARDED_BY(mu_);
   SegmentId next_segment_id_ GUARDED_BY(mu_) = 1;
   uint64_t term_ GUARDED_BY(mu_) = 0;
   uint32_t leader_id_ GUARDED_BY(mu_) = 0;
@@ -259,6 +286,8 @@ class ClusterManager {
 
   obs::Gauge* term_gauge_ = nullptr;
   obs::Counter* failovers_ = nullptr;
+  obs::Counter* quarantines_ = nullptr;
+  obs::Counter* rebuilds_ = nullptr;
   std::map<uint32_t, obs::Gauge*> lag_gauges_;  // fixed at SetPeers
 
   std::atomic<bool> shutdown_{false};

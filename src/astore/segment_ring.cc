@@ -287,43 +287,130 @@ Status SegmentRing::AppendRecord(uint64_t lsn, Slice payload) {
   return Status::Unavailable("log append failed after segment replacements");
 }
 
-Result<uint64_t> SegmentRing::ScanSegment(AStoreClient* client,
-                                          const SegmentHandlePtr& seg,
-                                          uint64_t from_lsn,
-                                          uint64_t start_lsn,
-                                          std::vector<LogRecord>* out,
-                                          std::vector<RecordLocation>* locs) {
-  // Read the whole data area once, then parse frames.
-  const uint64_t data_size = seg->size() - kHeaderSize;
-  std::string buf(data_size, '\0');
-  VEDB_RETURN_IF_ERROR(client->Read(seg, kHeaderSize, data_size, buf.data()));
+namespace {
 
+/// Result of parsing one copy of a segment's data area.
+struct ParsedFrames {
   uint64_t next_lsn = 0;
+  /// Segment-relative offset one past the last valid frame (the point
+  /// where this copy's durable prefix ends).
+  uint64_t valid_end = SegmentRing::kHeaderSize;
+};
+
+ParsedFrames ParseFrames(Slice buf, uint64_t from_lsn, uint64_t start_lsn,
+                         SegmentId seg_id, std::vector<LogRecord>* out,
+                         std::vector<SegmentRing::RecordLocation>* locs) {
+  ParsedFrames p;
   uint64_t prev_lsn = 0;
-  uint64_t offset = kHeaderSize;  // frame offset within the segment
-  Slice in(buf);
+  uint64_t offset = SegmentRing::kHeaderSize;  // frame offset in the segment
+  Slice in = buf;
   while (in.size() >= 16) {
     const uint32_t len = DecodeFixed32(in.data());
     if (len > in.size() - 16) break;  // torn or past end
     const uint64_t lsn = DecodeFixed64(in.data() + 4);
     const uint32_t stored = UnmaskCrc(DecodeFixed32(in.data() + 12 + len));
     const uint32_t actual = Crc32c(0, in.data() + 4, 8 + len);
-    if (stored != actual) break;  // end of durable log in this segment
+    if (stored != actual) break;  // invalid frame: prefix ends here
     // Guard against remnants of a previous ring lap: records must start at
     // the header's start LSN and stay strictly ascending.
     if (lsn < start_lsn || (prev_lsn != 0 && lsn <= prev_lsn)) break;
     if (lsn >= from_lsn && out != nullptr) {
       out->push_back(LogRecord{lsn, std::string(in.data() + 12, len)});
       if (locs != nullptr) {
-        locs->push_back(RecordLocation{lsn, seg->id(), offset, len});
+        locs->push_back(
+            SegmentRing::RecordLocation{lsn, seg_id, offset, len});
       }
     }
     prev_lsn = lsn;
-    next_lsn = lsn + 1;
+    p.next_lsn = lsn + 1;
     offset += 16 + len;
     in.RemovePrefix(16 + len);
   }
-  return next_lsn;
+  p.valid_end = offset;
+  return p;
+}
+
+}  // namespace
+
+Result<uint64_t> SegmentRing::ScanSegment(AStoreClient* client,
+                                          const SegmentHandlePtr& seg,
+                                          uint64_t from_lsn,
+                                          uint64_t start_lsn,
+                                          std::vector<LogRecord>* out,
+                                          std::vector<RecordLocation>* locs) {
+  const uint64_t data_size = seg->size() - kHeaderSize;
+  const SegmentRoute route = seg->route();
+  const size_t replicas = route.replicas.size();
+
+  if (replicas <= 1) {
+    // Single copy: read the whole data area once, then parse frames.
+    std::string buf(data_size, '\0');
+    VEDB_RETURN_IF_ERROR(
+        client->Read(seg, kHeaderSize, data_size, buf.data()));
+    return ParseFrames(Slice(buf), from_lsn, start_lsn, seg->id(), out, locs)
+        .next_lsn;
+  }
+
+  // Cross-replica scan. Looking at ONE copy, a CRC mismatch mid-log is
+  // indistinguishable from the torn tail: a single flipped bit would
+  // silently truncate recovery at that record. Reading every copy
+  // disambiguates — the longest valid frame prefix wins (a frame durable
+  // on any replica was flushed there before its ack, so adopting it can
+  // only extend the log with genuinely persisted records) — and copies
+  // whose prefix ends earlier are repaired from the winner.
+  std::vector<std::string> bufs(replicas);
+  std::vector<bool> have(replicas, false);
+  std::vector<ParsedFrames> parsed(replicas);
+  size_t ok_count = 0;
+  for (size_t i = 0; i < replicas; ++i) {
+    bufs[i].assign(data_size, '\0');
+    Status s =
+        client->ReadReplica(seg, i, kHeaderSize, data_size, bufs[i].data());
+    if (!s.ok()) continue;  // dead node: recover from the copies we have
+    have[i] = true;
+    ok_count++;
+    parsed[i] = ParseFrames(Slice(bufs[i]), from_lsn, start_lsn, seg->id(),
+                            nullptr, nullptr);
+  }
+  if (ok_count == 0) {
+    // Every direct replica read failed (nodes down, route mid-rebuild):
+    // fall back to the failover+retry read path.
+    std::string buf(data_size, '\0');
+    VEDB_RETURN_IF_ERROR(
+        client->Read(seg, kHeaderSize, data_size, buf.data()));
+    return ParseFrames(Slice(buf), from_lsn, start_lsn, seg->id(), out, locs)
+        .next_lsn;
+  }
+  size_t winner = 0;
+  bool first = true;
+  for (size_t i = 0; i < replicas; ++i) {
+    if (have[i] && (first || parsed[i].valid_end > parsed[winner].valid_end)) {
+      winner = i;
+      first = false;
+    }
+  }
+  const ParsedFrames best = ParseFrames(Slice(bufs[winner]), from_lsn,
+                                        start_lsn, seg->id(), out, locs);
+  // Scan-repair: rewrite the winner's valid prefix over every copy whose
+  // own prefix ended earlier (mid-log bit rot or a lost tail). Divergent
+  // garbage beyond the winner's prefix is left alone — it is outside the
+  // durable log on every copy.
+  for (size_t i = 0; i < replicas; ++i) {
+    if (!have[i] || i == winner || parsed[i].valid_end >= best.valid_end) {
+      continue;
+    }
+    const uint64_t lo = parsed[i].valid_end;
+    Slice patch(bufs[winner].data() + (lo - kHeaderSize),
+                best.valid_end - lo);
+    Status rs = client->WriteReplica(seg, i, lo, patch, route.epoch);
+    if (rs.ok()) {
+      obs::MetricsRegistry::Default()
+          .GetCounter("astore.repair.scan_repairs")
+          ->Add(1);
+    }
+    // A failed repair (node down, epoch moved) is left for the scrubber.
+  }
+  return best.next_lsn;
 }
 
 Result<SegmentRing::Recovered> SegmentRing::Recover(
@@ -335,15 +422,34 @@ Result<SegmentRing::Recovered> SegmentRing::Recover(
     SegmentStatus status = SegmentStatus::kEmpty;
     uint64_t start_lsn = 0;
   };
+  // Header reads are verified: a single replica serving a rotted header
+  // must not make a live segment look unusable, so the read fails over to
+  // a copy whose header decodes (and repairs the bad copy). Only when NO
+  // copy has a valid header (DataLoss) is the segment classed kError —
+  // the same conclusion a garbage header produced before.
+  ReadOptions hdr_opts;
+  hdr_opts.verify = [](Slice b) {
+    SegmentStatus st;
+    uint64_t sl;
+    return DecodeHeader(b, &st, &sl)
+               ? Status::OK()
+               : Status::Corruption("segment header fails magic/CRC");
+  };
   std::vector<Opened> ring;
   for (SegmentId id : segment_ids) {
     VEDB_ASSIGN_OR_RETURN(SegmentHandlePtr seg, client->OpenSegment(id));
     char hdr[kHeaderSize];
-    VEDB_RETURN_IF_ERROR(client->Read(seg, 0, kHeaderSize, hdr));
+    Status hs = client->ReadVerified(seg, 0, kHeaderSize, hdr, hdr_opts);
     Opened o;
     o.seg = std::move(seg);
-    if (!DecodeHeader(Slice(hdr, kHeaderSize), &o.status, &o.start_lsn)) {
-      o.status = SegmentStatus::kError;  // garbage header: treat as unusable
+    if (hs.ok()) {
+      VEDB_CHECK(DecodeHeader(Slice(hdr, kHeaderSize), &o.status,
+                              &o.start_lsn),
+                 "verified header failed to decode");
+    } else if (hs.IsDataLoss()) {
+      o.status = SegmentStatus::kError;  // garbage on every copy: unusable
+    } else {
+      return hs;
     }
     ring.push_back(std::move(o));
   }

@@ -106,6 +106,25 @@ bool AStoreServer::HasSegment(SegmentId id) const {
   return it != segments_.end() && !it->second.pending_clean;
 }
 
+bool AStoreServer::HoldsSegmentStorage(SegmentId id) const {
+  vedb::MutexLock lk(&mu_);
+  auto it = segments_.find(id);
+  if (it == segments_.end()) return false;
+  // An expired pending-clean copy no longer blocks an Allocate of the same
+  // id (Allocate reclaims expired entries on entry), so it doesn't count.
+  return !it->second.pending_clean ||
+         it->second.clean_deadline > env_->clock()->Now();
+}
+
+std::vector<SegmentId> AStoreServer::LiveSegmentIds() const {
+  vedb::MutexLock lk(&mu_);
+  std::vector<SegmentId> out;
+  for (const auto& [id, seg] : segments_) {
+    if (!seg.pending_clean) out.push_back(id);
+  }
+  return out;
+}
+
 Result<std::pair<uint64_t, uint64_t>> AStoreServer::GetLocalSegment(
     SegmentId id) const {
   vedb::MutexLock lk(&mu_);
@@ -149,12 +168,14 @@ Result<ReplicaLocation> AStoreServer::Allocate(SegmentId id, uint64_t size) {
   VEDB_RETURN_IF_ERROR(
       env_->faults()->MaybeFail("astore.alloc." + node_->name()));
   vedb::MutexLock lk(&mu_);
+  // Opportunistically reclaim anything whose cleaning deadline has passed,
+  // so allocation pressure cannot outrun the background task — and so an
+  // expired stale copy of `id` itself (e.g. left behind by a crash-era
+  // rebuild) does not block re-hosting the segment here.
+  CleanExpiredLocked(env_->clock()->Now());
   if (segments_.count(id) != 0) {
     return Status::AlreadyExists("segment already on this server");
   }
-  // Opportunistically reclaim anything whose cleaning deadline has passed,
-  // so allocation pressure cannot outrun the background task.
-  CleanExpiredLocked(env_->clock()->Now());
   VEDB_ASSIGN_OR_RETURN(uint64_t base, AllocExtentsLocked(size));
 
   LocalSegment seg;

@@ -85,6 +85,15 @@ class AStoreServer {
   size_t LiveSegmentCount() const;
   /// True if `segment` currently has storage on this server.
   bool HasSegment(SegmentId id) const;
+  /// Like HasSegment but also counts pending-clean copies: the extents are
+  /// still occupied until the deferred cleaner runs, so an Allocate of the
+  /// same id here would fail. Placement code (CM rebuilds) uses this.
+  bool HoldsSegmentStorage(SegmentId id) const;
+
+  /// Ids of all live (not pending-clean) local segments, ascending. The
+  /// scrubber walks this list; ascending order keeps its schedule — and
+  /// therefore every seeded run — deterministic.
+  std::vector<SegmentId> LiveSegmentIds() const;
 
   /// Local placement of a live segment: {data base offset, size}. Used by
   /// co-located agents (e.g. the EBP recovery scan) that read the PMem

@@ -44,6 +44,9 @@ BlobStoreCluster::BlobStoreCluster(sim::SimEnvironment* env,
       options_(options) {
   VEDB_CHECK(static_cast<int>(data_nodes_.size()) >= options_.replication,
              "need at least replication-many data nodes");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  corrupt_reads_ = reg.GetCounter("blob.read.corrupt");
+  read_repairs_ = reg.GetCounter("blob.read.repairs");
   for (sim::SimNode* node : data_nodes_) {
     rpc_->RegisterTimedService(
         node, "blob.append",
@@ -172,6 +175,102 @@ Status BlobStoreCluster::Read(sim::SimNode* client, BlobId id, uint64_t offset,
   return rpc_->Call(client, target, "blob.read", Slice(req), out);
 }
 
+Status BlobStoreCluster::ReadVerified(
+    sim::SimNode* client, BlobId id, uint64_t offset, uint64_t len,
+    std::string* out, const std::function<Status(Slice)>& verify) {
+  std::vector<sim::SimNode*> replicas = ReplicasOf(id);
+  if (replicas.empty()) return Status::NotFound("no such blob");
+  std::string req = EncodeRead(id, offset, len);
+  std::vector<sim::SimNode*> bad;
+  Status last = Status::Unavailable("no live replica");
+  std::string good;
+  bool found = false;
+  for (sim::SimNode* node : replicas) {
+    if (!node->alive()) continue;
+    std::string resp;
+    Status s = rpc_->Call(client, node, "blob.read", Slice(req), &resp);
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    // Length first: a short response means the replica lost bytes. Handing
+    // a sliced buffer to the verifier could let a prefix whose checksum
+    // happens to cover it pass as the whole record.
+    if (resp.size() != len) {
+      corrupt_reads_->Add(1);
+      bad.push_back(node);
+      last = Status::DataLoss("blob replica returned short read");
+      continue;
+    }
+    if (verify) {
+      Status v = verify(Slice(resp));
+      if (!v.ok()) {
+        corrupt_reads_->Add(1);
+        bad.push_back(node);
+        last = Status::DataLoss(v.message());
+        continue;
+      }
+    }
+    good = std::move(resp);
+    found = true;
+    break;
+  }
+  if (!found) return last;
+  // Read-repair: rewrite the verified copy over every replica that served
+  // bad bytes. Best-effort — the read already succeeded; a failed repair
+  // leaves the replica for the next read or the scrubber.
+  for (sim::SimNode* node : bad) {
+    // blob.append is a timed (data-plane) service, so the rewrite must go
+    // through the scatter path — a plain Call would not resolve it.
+    std::string areq = EncodeAppend(id, offset, Slice(good));
+    std::vector<Status> rs =
+        rpc_->CallParallel(client, {node}, "blob.append", Slice(areq),
+                           /*responses=*/nullptr, /*required_acks=*/0);
+    if (!rs.empty() && rs[0].ok()) read_repairs_->Add(1);
+  }
+  *out = std::move(good);
+  return Status::OK();
+}
+
+Status BlobStoreCluster::CorruptReplicaBitFlip(BlobId id,
+                                               const std::string& node_name,
+                                               uint64_t offset, int bit) {
+  vedb::MutexLock lk(&mu_);
+  auto it = blobs_.find(id);
+  if (it == blobs_.end()) return Status::NotFound("no such blob");
+  auto data_it = it->second.data.find(node_name);
+  if (data_it == it->second.data.end()) {
+    return Status::NotFound("no such replica");
+  }
+  std::string& content = data_it->second;
+  if (offset >= content.size()) {
+    return Status::InvalidArgument("corruption offset past replica end");
+  }
+  content[offset] = static_cast<char>(content[offset] ^ (1u << (bit & 7)));
+  return Status::OK();
+}
+
+Status BlobStoreCluster::ReadReplica(sim::SimNode* client, BlobId id,
+                                     const std::string& node_name,
+                                     uint64_t offset, uint64_t len,
+                                     std::string* out) {
+  sim::SimNode* target = nullptr;
+  {
+    vedb::MutexLock lk(&mu_);
+    auto it = blobs_.find(id);
+    if (it == blobs_.end()) return Status::NotFound("no such blob");
+    for (sim::SimNode* node : it->second.replicas) {
+      if (node->name() == node_name) {
+        target = node;
+        break;
+      }
+    }
+  }
+  if (target == nullptr) return Status::NotFound("no such replica");
+  std::string req = EncodeRead(id, offset, len);
+  return rpc_->Call(client, target, "blob.read", Slice(req), out);
+}
+
 void BlobStoreCluster::Crash(uint64_t seed) {
   Random rng(seed);
   vedb::MutexLock lk(&mu_);
@@ -287,6 +386,11 @@ Status BlobGroup::Read(uint64_t offset, uint64_t len, std::string* out) {
     std::string part;
     VEDB_RETURN_IF_ERROR(cluster_->Read(client_, blobs_[blob_idx], blob_offset,
                                         n, &part));
+    // A short chunk response would silently shift every later chunk in the
+    // assembled buffer; surface it as data loss instead.
+    if (part.size() != n) {
+      return Status::DataLoss("blob chunk read returned short");
+    }
     out->append(part);
     offset += n;
     len -= n;

@@ -7,6 +7,7 @@
 #define VEDB_BLOB_BLOB_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -16,6 +17,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "sim/env.h"
 
 namespace vedb::blob {
@@ -50,6 +52,28 @@ class BlobStoreCluster {
   /// Reads `len` bytes at `offset` from one live replica.
   Status Read(sim::SimNode* client, BlobId id, uint64_t offset, uint64_t len,
               std::string* out);
+
+  /// Integrity-verifying read with failover and read-repair: tries every
+  /// live replica in placement order, validates the returned length against
+  /// the request *before* running `verify` (a short response is corruption,
+  /// not a shorter read), and rewrites the first good copy over every
+  /// replica that returned bad bytes. Returns Status::DataLoss when no
+  /// replica yields a verifiable copy. `verify` may be null (length-only).
+  Status ReadVerified(sim::SimNode* client, BlobId id, uint64_t offset,
+                      uint64_t len, std::string* out,
+                      const std::function<Status(Slice)>& verify);
+
+  /// Corruption hook for tests/campaigns: silently flips bit `bit` of the
+  /// byte at `offset` in `node_name`'s copy only. Models bit rot on one
+  /// replica's SSD; no lengths or acks change.
+  Status CorruptReplicaBitFlip(BlobId id, const std::string& node_name,
+                               uint64_t offset, int bit = 0);
+
+  /// Direct read of one named replica's copy (no failover, no repair).
+  /// Lets tests confirm a previously-bad replica was actually rewritten.
+  Status ReadReplica(sim::SimNode* client, BlobId id,
+                     const std::string& node_name, uint64_t offset,
+                     uint64_t len, std::string* out);
 
   /// Current length of the blob (client-visible committed length).
   Result<uint64_t> Length(BlobId id) const;
@@ -93,6 +117,10 @@ class BlobStoreCluster {
   BlobId next_blob_id_ GUARDED_BY(mu_) = 1;
   // round-robin placement cursor
   size_t next_node_ GUARDED_BY(mu_) = 0;
+
+  // Observability (resolved once at construction).
+  obs::Counter* corrupt_reads_ = nullptr;
+  obs::Counter* read_repairs_ = nullptr;
 };
 
 /// BlobGroup: the storage SDK's logical container over several blobs

@@ -19,6 +19,7 @@ const char* CodeName(Status::Code code) {
     case Status::Code::kAborted: return "Aborted";
     case Status::Code::kNotSupported: return "NotSupported";
     case Status::Code::kAlreadyExists: return "AlreadyExists";
+    case Status::Code::kDataLoss: return "DataLoss";
   }
   return "Unknown";
 }

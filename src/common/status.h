@@ -35,6 +35,10 @@ class [[nodiscard]] Status {
     kAborted = 11,       // transaction aborted (deadlock, conflict)
     kNotSupported = 12,
     kAlreadyExists = 13,
+    kDataLoss = 14,      // checksum mismatch: THIS replica's copy is bad.
+                         // Never retriable against the same replica; the
+                         // caller must fail over to a different copy (and
+                         // should read-repair the bad one).
   };
 
   Status() = default;  // OK
@@ -79,6 +83,9 @@ class [[nodiscard]] Status {
   static Status AlreadyExists(std::string_view msg = "") {
     return Status(Code::kAlreadyExists, msg);
   }
+  static Status DataLoss(std::string_view msg = "") {
+    return Status(Code::kDataLoss, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -94,6 +101,7 @@ class [[nodiscard]] Status {
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,5 +1,6 @@
 #include "pmem/pmem_device.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace vedb::pmem {
@@ -15,6 +16,13 @@ PmemDevice::PmemDevice(uint64_t capacity, bool ddio_enabled,
   local_write_bytes_ = reg.GetCounter("pmem.write_bytes", {{"source", "local"}});
   flushes_ = reg.GetCounter("pmem.flushes");
   flush_bytes_ = reg.GetCounter("pmem.flush_bytes");
+  corrupt_bit_flips_ =
+      reg.GetCounter("pmem.corruption.injected", {{"kind", "bit_flip"}});
+  corrupt_zero_lines_ =
+      reg.GetCounter("pmem.corruption.injected", {{"kind", "zero_cacheline"}});
+  corrupt_bad_regions_ =
+      reg.GetCounter("pmem.corruption.injected", {{"kind", "bad_region"}});
+  corrupt_healed_ = reg.GetCounter("pmem.corruption.healed");
 }
 
 uint64_t PmemDevice::PendingBytesLocked() const {
@@ -31,6 +39,7 @@ Status PmemDevice::WriteFromRemote(uint64_t offset, Slice data) {
     std::lock_guard<std::mutex> lk(mu_);
     memcpy(bytes_.data() + offset, data.data(), data.size());
     MarkPendingLocked(offset, data.size());
+    HealBadRegionsLocked(offset, data.size());
   }
   remote_write_bytes_->Add(data.size());
   checker_.OnWrite(offset, data.size(), /*persistent=*/false);
@@ -44,6 +53,7 @@ Status PmemDevice::WriteLocal(uint64_t offset, Slice data) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     memcpy(bytes_.data() + offset, data.data(), data.size());
+    HealBadRegionsLocked(offset, data.size());
   }
   local_write_bytes_->Add(data.size());
   checker_.OnWrite(offset, data.size(), /*persistent=*/true);
@@ -56,6 +66,21 @@ Status PmemDevice::Read(uint64_t offset, uint64_t len, char* out) const {
   }
   std::lock_guard<std::mutex> lk(mu_);
   memcpy(out, bytes_.data() + offset, len);
+  // Latent bad regions corrupt on the way out: the stored bytes stay
+  // untouched, but every read through the region is damaged (XOR keeps the
+  // damage deterministic so seeded runs stay byte-identical).
+  if (!bad_regions_.empty()) {
+    uint64_t read_end = offset + len;
+    for (const auto& [start, region] : bad_regions_) {
+      if (start >= read_end) break;
+      if (region.end <= offset) continue;
+      uint64_t lo = std::max(start, offset);
+      uint64_t hi = std::min(region.end, read_end);
+      for (uint64_t i = lo; i < hi; ++i) {
+        out[i - offset] = static_cast<char>(out[i - offset] ^ 0xA5);
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -118,6 +143,87 @@ void PmemDevice::Crash() {
 size_t PmemDevice::PendingRangeCount() const {
   std::lock_guard<std::mutex> lk(mu_);
   return pending_.size();
+}
+
+Status PmemDevice::CorruptBitFlip(uint64_t offset, int bit) {
+  if (offset >= capacity_) {
+    return Status::InvalidArgument("pmem corruption out of bounds");
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bytes_[offset] = static_cast<char>(bytes_[offset] ^ (1u << (bit & 7)));
+    corruptions_injected_++;
+  }
+  corrupt_bit_flips_->Add(1);
+  return Status::OK();
+}
+
+Status PmemDevice::CorruptZeroCacheline(uint64_t offset) {
+  if (offset >= capacity_) {
+    return Status::InvalidArgument("pmem corruption out of bounds");
+  }
+  uint64_t line = offset & ~uint64_t{63};
+  uint64_t end = std::min(line + 64, capacity_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    memset(bytes_.data() + line, 0, end - line);
+    corruptions_injected_++;
+  }
+  corrupt_zero_lines_->Add(1);
+  return Status::OK();
+}
+
+Status PmemDevice::MarkBadRegion(uint64_t offset, uint64_t len, bool sticky) {
+  if (len == 0 || offset + len > capacity_ || offset + len < offset) {
+    return Status::InvalidArgument("pmem corruption out of bounds");
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bad_regions_[offset] = BadRegion{offset + len, sticky};
+    corruptions_injected_++;
+  }
+  corrupt_bad_regions_->Add(1);
+  return Status::OK();
+}
+
+bool PmemDevice::HasBadRegionOverlap(uint64_t offset, uint64_t len) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t end = offset + len;
+  for (const auto& [start, region] : bad_regions_) {
+    if (start >= end) break;
+    if (region.end > offset) return true;
+  }
+  return false;
+}
+
+uint64_t PmemDevice::CorruptionCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return corruptions_injected_;
+}
+
+void PmemDevice::HealBadRegionsLocked(uint64_t offset, uint64_t len) {
+  if (bad_regions_.empty()) return;
+  uint64_t write_end = offset + len;
+  uint64_t healed = 0;
+  std::map<uint64_t, BadRegion> remnants;
+  for (auto it = bad_regions_.begin(); it != bad_regions_.end();) {
+    uint64_t start = it->first;
+    const BadRegion region = it->second;
+    if (region.sticky || start >= write_end || region.end <= offset) {
+      ++it;
+      continue;
+    }
+    // The rewrite covers [max(start,offset), min(end,write_end)); keep the
+    // uncovered remnants (at most one on each side).
+    healed += std::min(region.end, write_end) - std::max(start, offset);
+    if (start < offset) remnants[start] = BadRegion{offset, false};
+    if (region.end > write_end) {
+      remnants[write_end] = BadRegion{region.end, false};
+    }
+    it = bad_regions_.erase(it);
+  }
+  bad_regions_.insert(remnants.begin(), remnants.end());
+  if (healed > 0) corrupt_healed_->Add(1);
 }
 
 }  // namespace vedb::pmem

@@ -62,6 +62,33 @@ class PmemDevice {
   /// domain is overwritten with garbage, modelling torn/lost cache lines.
   void Crash();
 
+  // ---- Silent corruption (bit rot). Unlike Crash, these damage bytes the
+  // device already acknowledged as durable, which is exactly what checksum
+  // verification and the scrubber exist to catch. Injections are driven by
+  // tests/campaigns (typically planned via sim::FaultInjector's corruption
+  // sites) and are invisible to the PersistChecker: a flipped bit does not
+  // change what was *claimed* durable, only what is *served*. ----
+
+  /// Flips bit `bit` (0-7) of the byte at `offset`.
+  Status CorruptBitFlip(uint64_t offset, int bit = 0);
+
+  /// Zeroes the 64-byte aligned cacheline containing `offset`, modelling a
+  /// flush that made it to the media as all-zeros.
+  Status CorruptZeroCacheline(uint64_t offset);
+
+  /// Marks [offset, offset+len) as a latent bad region: every Read XORs the
+  /// stored bytes with 0xA5 inside it. A non-sticky region heals when the
+  /// range is rewritten (read-repair and scrub rewrites genuinely fix it);
+  /// a sticky region models failed cells and keeps corrupting after any
+  /// rewrite — the only cure is quarantining the replica.
+  Status MarkBadRegion(uint64_t offset, uint64_t len, bool sticky);
+
+  /// True when [offset, offset+len) overlaps a (remaining) bad region.
+  bool HasBadRegionOverlap(uint64_t offset, uint64_t len) const;
+
+  /// Total silent corruptions injected into this device (all kinds).
+  uint64_t CorruptionCount() const;
+
   /// Number of byte ranges currently outside the persistence domain.
   size_t PendingRangeCount() const;
 
@@ -78,10 +105,19 @@ class PmemDevice {
   const PersistChecker& persist_checker() const { return checker_; }
 
  private:
+  struct BadRegion {
+    uint64_t end = 0;
+    bool sticky = false;
+  };
+
   void MarkPendingLocked(uint64_t offset, uint64_t len);
 
   /// Sums the byte lengths of all pending ranges. Caller holds mu_.
   uint64_t PendingBytesLocked() const;
+
+  /// Removes the non-sticky parts of bad regions overlapping
+  /// [offset, offset+len) — a rewrite heals latent (but not sticky) rot.
+  void HealBadRegionsLocked(uint64_t offset, uint64_t len);
 
   const uint64_t capacity_;
   const bool ddio_enabled_;
@@ -89,6 +125,9 @@ class PmemDevice {
   std::vector<char> bytes_;
   // offset -> end of ranges written but not yet persistent.
   std::map<uint64_t, uint64_t> pending_;
+  // offset -> bad-region descriptor (see MarkBadRegion).
+  std::map<uint64_t, BadRegion> bad_regions_;
+  uint64_t corruptions_injected_ = 0;
   Random crash_rng_;
   PersistChecker checker_;
 
@@ -97,6 +136,10 @@ class PmemDevice {
   obs::Counter* local_write_bytes_ = nullptr;
   obs::Counter* flushes_ = nullptr;
   obs::Counter* flush_bytes_ = nullptr;
+  obs::Counter* corrupt_bit_flips_ = nullptr;
+  obs::Counter* corrupt_zero_lines_ = nullptr;
+  obs::Counter* corrupt_bad_regions_ = nullptr;
+  obs::Counter* corrupt_healed_ = nullptr;
 };
 
 }  // namespace vedb::pmem

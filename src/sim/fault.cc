@@ -2,6 +2,16 @@
 
 namespace vedb::sim {
 
+const char* CorruptionKindName(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kBitFlip: return "bit_flip";
+    case CorruptionKind::kZeroCacheline: return "zero_cacheline";
+    case CorruptionKind::kBadRegion: return "bad_region";
+    case CorruptionKind::kStickyBadRegion: return "sticky_bad_region";
+  }
+  return "unknown";
+}
+
 void FaultInjector::Arm(const std::string& site, double probability,
                         Status failure, int remaining, int skip) {
   vedb::MutexLock lk(&mu_);
@@ -37,6 +47,47 @@ uint64_t FaultInjector::InjectedCount(const std::string& site) const {
   vedb::MutexLock lk(&mu_);
   auto it = rules_.find(site);
   return it == rules_.end() ? 0 : it->second.injected;
+}
+
+void FaultInjector::ArmCorruption(const std::string& site, double probability,
+                                  CorruptionKind kind, int remaining,
+                                  int skip) {
+  vedb::MutexLock lk(&mu_);
+  CorruptionRule& rule = corruption_rules_[site];
+  rule.probability = probability;
+  rule.kind = kind;
+  rule.remaining = remaining;
+  rule.skip = skip;
+}
+
+void FaultInjector::DisarmCorruption(const std::string& site) {
+  vedb::MutexLock lk(&mu_);
+  corruption_rules_.erase(site);
+}
+
+bool FaultInjector::MaybeCorrupt(const std::string& site,
+                                 CorruptionPlan* plan) {
+  vedb::MutexLock lk(&mu_);
+  auto it = corruption_rules_.find(site);
+  if (it == corruption_rules_.end()) return false;
+  CorruptionRule& rule = it->second;
+  if (rule.skip > 0) {
+    rule.skip--;
+    return false;
+  }
+  if (rule.remaining == 0) return false;
+  if (!corrupt_rng_.Bernoulli(rule.probability)) return false;
+  if (rule.remaining > 0) rule.remaining--;
+  rule.injected++;
+  plan->kind = rule.kind;
+  plan->draw = corrupt_rng_.Next();
+  return true;
+}
+
+uint64_t FaultInjector::CorruptionCount(const std::string& site) const {
+  vedb::MutexLock lk(&mu_);
+  auto it = corruption_rules_.find(site);
+  return it == corruption_rules_.end() ? 0 : it->second.injected;
 }
 
 namespace {

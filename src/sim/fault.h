@@ -18,10 +18,26 @@
 
 namespace vedb::sim {
 
+/// How a silent-corruption site damages bytes when it fires. The kinds
+/// mirror what real PMem deployments see: a stray bit flip, a cacheline
+/// that was zeroed by a failed flush, and a latent media defect that
+/// corrupts every read until the region is rewritten (or forever, when
+/// the cell itself has failed).
+enum class CorruptionKind : unsigned char {
+  kBitFlip = 0,        // flip one bit in the target range
+  kZeroCacheline = 1,  // zero one 64-byte aligned cacheline
+  kBadRegion = 2,      // latent bad range: corrupts on read, heals on write
+  kStickyBadRegion = 3,  // bad range that stays bad even after a rewrite
+};
+
+/// Name for the metric label / logs.
+const char* CorruptionKindName(CorruptionKind kind);
+
 /// Registry of armed fault sites. Thread safe.
 class FaultInjector {
  public:
-  explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
+  explicit FaultInjector(uint64_t seed = 42)
+      : rng_(seed), corrupt_rng_(seed ^ 0xbadc0ffee0ddf00dull) {}
 
   /// Arms `site` to fail with the given probability per call. `remaining`
   /// bounds the number of injected failures (< 0 means unlimited). `skip`
@@ -39,6 +55,35 @@ class FaultInjector {
 
   /// Number of failures injected at `site` so far.
   uint64_t InjectedCount(const std::string& site) const;
+
+  // ---- Silent corruption. Distinct from MaybeFail: a corruption site does
+  // not make an operation *fail*, it silently damages bytes that a device
+  // owner (PmemDevice, BlobStoreCluster) then serves as truth. Sites draw
+  // from a dedicated RNG stream so arming corruption never shifts the
+  // MaybeFail draws of an otherwise-identical run. ----
+
+  /// Plan of one corruption event: which kind, and a seeded draw the device
+  /// owner maps onto a concrete offset within its target range.
+  struct CorruptionPlan {
+    CorruptionKind kind = CorruptionKind::kBitFlip;
+    uint64_t draw = 0;  // uniform 64-bit value; owner reduces mod range
+  };
+
+  /// Arms `site` to corrupt with the given probability per call.
+  /// `remaining` bounds the number of injected corruptions (< 0 means
+  /// unlimited); `skip` lets the first `skip` calls through untouched.
+  void ArmCorruption(const std::string& site, double probability,
+                     CorruptionKind kind, int remaining = -1, int skip = 0);
+
+  /// Disarms a corruption site.
+  void DisarmCorruption(const std::string& site);
+
+  /// Rolls the armed corruption rule for `site`. Returns true and fills
+  /// `plan` when the site fires (decrementing its budget).
+  bool MaybeCorrupt(const std::string& site, CorruptionPlan* plan);
+
+  /// Number of corruptions injected at `site` so far.
+  uint64_t CorruptionCount(const std::string& site) const;
 
   // ---- Network partitions. A partition is a symmetric cut between two
   // node groups: traffic between any node of `group_a` and any node of
@@ -68,9 +113,19 @@ class FaultInjector {
     uint64_t injected = 0;
   };
 
+  struct CorruptionRule {
+    double probability = 0.0;
+    CorruptionKind kind = CorruptionKind::kBitFlip;
+    int remaining = -1;
+    int skip = 0;
+    uint64_t injected = 0;
+  };
+
   mutable Mutex mu_{"sim.fault"};
   std::map<std::string, Rule> rules_ GUARDED_BY(mu_);
+  std::map<std::string, CorruptionRule> corruption_rules_ GUARDED_BY(mu_);
   Random rng_ GUARDED_BY(mu_);
+  Random corrupt_rng_ GUARDED_BY(mu_);
   // Blocked node pairs, stored with the lexicographically smaller name
   // first so lookups are order-independent.
   std::set<std::pair<std::string, std::string>> cut_links_ GUARDED_BY(mu_);

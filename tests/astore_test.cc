@@ -193,6 +193,80 @@ TEST_F(AStoreTest, ReadFailsOverPastFaultedReplica) {
   env_.faults()->Disarm("astore.client.read.replica");
 }
 
+TEST_F(AStoreTest, CorruptedReplicaReadFailsOverAndRepairs) {
+  auto res = client_->CreateSegment(256 * kKiB, 3);
+  ASSERT_TRUE(res.ok());
+  SegmentHandlePtr seg = res.value();
+  const std::string payload = "bit rot hits committed bytes";
+  ASSERT_TRUE(client_->Append(seg, Slice(payload), nullptr).ok());
+
+  // Silently flip one bit in replica 0's committed copy — no lengths or
+  // acks change, only the served bytes.
+  const SegmentRoute route = seg->route();
+  AStoreServer* victim = nullptr;
+  for (auto& s : servers_) {
+    if (s->node()->name() == route.replicas[0].node) victim = s.get();
+  }
+  ASSERT_NE(victim, nullptr);
+  ASSERT_TRUE(victim->pmem()
+                  ->CorruptBitFlip(route.replicas[0].base_offset + 7, 4)
+                  .ok());
+
+  // One verified read per round-robin position: whichever read lands on
+  // the corrupt copy must detect it, fail over to a healthy replica, and
+  // return the acked bytes — never the corrupt ones, never an error.
+  ReadOptions ro;
+  ro.verify = [&](Slice got) {
+    return got == Slice(payload) ? Status::OK()
+                                 : Status::DataLoss("not the acked bytes");
+  };
+  std::string buf(payload.size(), '\0');
+  for (size_t i = 0; i < route.replicas.size(); ++i) {
+    ASSERT_TRUE(
+        client_->ReadVerified(seg, 0, payload.size(), buf.data(), ro).ok());
+    EXPECT_EQ(buf, payload);
+  }
+
+  // Read-repair rewrote the good bytes over the bad copy: a direct read of
+  // replica 0 — no failover, no verification — serves the acked bytes.
+  std::string direct(payload.size(), '\0');
+  ASSERT_TRUE(
+      client_->ReadReplica(seg, 0, 0, payload.size(), direct.data()).ok());
+  EXPECT_EQ(direct, payload);
+}
+
+TEST_F(AStoreTest, ShortReadCompletionIsDataLossNotSlicedBuffer) {
+  // Regression: the completion length must be validated against the request
+  // BEFORE any checksum runs — a replica NIC aborting mid-transfer is
+  // corruption of that copy, not a shorter read.
+  auto res = client_->CreateSegment(256 * kKiB, 3);
+  ASSERT_TRUE(res.ok());
+  SegmentHandlePtr seg = res.value();
+  const std::string payload = "short completions are corruption";
+  ASSERT_TRUE(client_->Append(seg, Slice(payload), nullptr).ok());
+
+  // One torn completion: the read fails over past it within the attempt.
+  env_.faults()->Arm("astore.client.read.short", 1.0,
+                     Status::IOError("torn dma"), /*remaining=*/1);
+  std::string buf(payload.size(), '\0');
+  ASSERT_TRUE(client_
+                  ->ReadVerified(seg, 0, payload.size(), buf.data(),
+                                 ReadOptions{})
+                  .ok());
+  EXPECT_EQ(buf, payload);
+  EXPECT_EQ(env_.faults()->InjectedCount("astore.client.read.short"), 1u);
+
+  // Every replica torn: DataLoss surfaces immediately — exactly one pass
+  // over the replicas, no retry loop (DataLoss is not transient).
+  env_.faults()->Arm("astore.client.read.short", 1.0,
+                     Status::IOError("torn dma"));
+  Status s =
+      client_->ReadVerified(seg, 0, payload.size(), buf.data(), ReadOptions{});
+  EXPECT_TRUE(s.IsDataLoss()) << s.ToString();
+  EXPECT_EQ(env_.faults()->InjectedCount("astore.client.read.short"), 4u);
+  env_.faults()->Disarm("astore.client.read.short");
+}
+
 TEST_F(AStoreTest, BoundsChecksRejectU64Overflow) {
   auto res = client_->CreateSegment(256 * kKiB, 3);
   ASSERT_TRUE(res.ok());

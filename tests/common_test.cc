@@ -40,6 +40,19 @@ TEST(StatusTest, AllCodesRoundTrip) {
   EXPECT_TRUE(Status::Aborted("x").IsAborted());
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+}
+
+TEST(StatusTest, DataLossIsDistinctFromCorruption) {
+  // DataLoss marks a replica that served provably wrong bytes (checksum or
+  // completion-length mismatch): non-retriable against that replica, the
+  // caller fails over instead. Corruption stays the local-media verdict.
+  Status s = Status::DataLoss("page checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDataLoss());
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_FALSE(Status::Corruption("x").IsDataLoss());
+  EXPECT_EQ(s.ToString(), "DataLoss: page checksum mismatch");
 }
 
 TEST(StatusTest, ReturnIfErrorMacro) {
