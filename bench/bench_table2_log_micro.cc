@@ -35,11 +35,16 @@ struct MicroResult {
   // traced log write, and the full span dump.
   std::string breakdown_json;
   std::string trace_json;
+  uint64_t client_ns = 0;
+  uint64_t total_ns = 0;
+  uint64_t ring_doorbells = 0;
+  uint64_t coalesced_appends = 0;
 };
 
 /// Extracts the Table 2 breakdown from a finished trace: the
 /// astore.client.write span and its four breakdown.* children.
-std::string BreakdownJson(const std::vector<obs::Span>& spans) {
+std::string BreakdownJson(const std::vector<obs::Span>& spans,
+                          uint64_t* client_ns, uint64_t* total_ns) {
   const obs::Span* root = nullptr;
   for (const auto& s : spans) {
     if (s.name == "astore.client.write") {
@@ -63,6 +68,8 @@ std::string BreakdownJson(const std::vector<obs::Span>& spans) {
            "\"pmem_flush_ns\":%llu,\"total_ns\":%llu}",
            comp[0], comp[1], comp[2], comp[3],
            static_cast<unsigned long long>(root->duration()));
+  *client_ns = comp[0];
+  *total_ns = root->duration();
   return buf;
 }
 
@@ -107,8 +114,16 @@ MicroResult RunLogMicro(bool use_astore, int ops) {
     auto r = cluster.log()->AppendBatch({payload});
     obs::Tracer::SetGlobal(nullptr);
     if (r.ok()) {
-      result.breakdown_json = BreakdownJson(tracer.FinishedSpans());
+      result.breakdown_json = BreakdownJson(
+          tracer.FinishedSpans(), &result.client_ns, &result.total_ns);
       result.trace_json = tracer.ToJson();
+    }
+    if (const auto* db = result.snapshot.FindCounter("ring.doorbells")) {
+      result.ring_doorbells = db->value;
+    }
+    if (const auto* co =
+            result.snapshot.FindCounter("astore.client.coalesced_appends")) {
+      result.coalesced_appends = co->value;
     }
     obs::MetricsRegistry::Default().ResetValues();
   }
@@ -151,12 +166,32 @@ int main(int argc, char** argv) {
          pmem.bandwidth_mb_s / ssd.bandwidth_mb_s);
   printf("Traced AStore write breakdown: %s\n", pmem.breakdown_json.c_str());
 
+  // Hot-path gate: before the packed-frame/doorbell rework the client stage
+  // dominated the traced write at 724 per-mille of total
+  // ({"client_ns":55300,...,"total_ns":76371}); the async ring must keep it
+  // at or below 350 per-mille or this bench fails the run.
+  const uint64_t client_share_pm =
+      pmem.total_ns == 0 ? 1000 : pmem.client_ns * 1000 / pmem.total_ns;
+  const bool breakdown_pass = client_share_pm <= 350;
+  printf("client share: %llu/1000 of traced write (baseline 724, gate 350) "
+         "-> %s\n",
+         static_cast<unsigned long long>(client_share_pm),
+         breakdown_pass ? "PASS" : "FAIL");
+  printf("doorbells: %llu (%llu appends coalesced into multi-record "
+         "doorbells)\n",
+         static_cast<unsigned long long>(pmem.ring_doorbells),
+         static_cast<unsigned long long>(pmem.coalesced_appends));
+
   Status wrote = bench::WriteBenchResults(
       "bench_table2_log_micro", "bench_table2_log_micro.json",
       {ssd.snapshot, pmem.snapshot},
       {"\"ops\":" + std::to_string(ops),
        "\"breakdown\":" +
            (pmem.breakdown_json.empty() ? "null" : pmem.breakdown_json),
+       "\"client_share_pm\":" + std::to_string(client_share_pm),
+       "\"breakdown_pass\":" + std::string(breakdown_pass ? "true" : "false"),
+       "\"ring_doorbells\":" + std::to_string(pmem.ring_doorbells),
+       "\"coalesced_appends\":" + std::to_string(pmem.coalesced_appends),
        "\"trace_spans\":" +
            (pmem.trace_json.empty() ? "[]" : pmem.trace_json)});
   if (!wrote.ok()) {
@@ -164,5 +199,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   printf("metrics snapshot: results/bench_table2_log_micro.json\n");
-  return 0;
+  return breakdown_pass ? 0 : 2;
 }

@@ -162,6 +162,43 @@ def check_scrub_chaos(doc, filename):
                f"{extra} extra disagrees with the '{counter}' snapshot sum")
 
 
+def check_table2(doc, filename):
+    """Bench-specific contract for bench_table2_log_micro: the log hot-path
+    gate (client-dominated share after the doorbell-coalescing rework) and
+    the doorbell telemetry must be visible in the results document, and the
+    extras must agree with the pmem config's snapshot."""
+    expect(isinstance(doc.get("breakdown_pass"), bool), filename,
+           "missing boolean 'breakdown_pass'")
+    for key in ("client_share_pm", "ring_doorbells", "coalesced_appends"):
+        expect(isinstance(doc.get(key), int), filename,
+               f"missing integer '{key}'")
+    expect(0 <= doc["client_share_pm"] <= 1000, filename,
+           "client_share_pm must be per-mille (0..1000)")
+    by_label = {s.get("run_label"): s for s in doc["configs"]}
+    expect("table2/pmem" in by_label, filename,
+           "missing 'table2/pmem' config")
+    pmem = by_label["table2/pmem"]
+    doorbells = find_sample(pmem, "counters", "ring.doorbells", {})
+    expect(doorbells is not None, filename,
+           "pmem config lacks the 'ring.doorbells' counter")
+    expect(doorbells["value"] == doc["ring_doorbells"], filename,
+           "ring_doorbells extra disagrees with the snapshot counter")
+    batch = find_sample(pmem, "histograms", "ring.doorbell_batch", {})
+    expect(batch is not None, filename,
+           "pmem config lacks the 'ring.doorbell_batch' histogram "
+           "(per-doorbell batch sizes)")
+    expect(batch["count"] == doc["ring_doorbells"], filename,
+           "every doorbell must contribute one doorbell_batch sample")
+    coalesced = find_sample(pmem, "counters",
+                            "astore.client.coalesced_appends", {})
+    expect(coalesced is not None, filename,
+           "pmem config lacks the 'astore.client.coalesced_appends' counter")
+    expect(coalesced["value"] == doc["coalesced_appends"], filename,
+           "coalesced_appends extra disagrees with the snapshot counter")
+    expect(isinstance(doc.get("breakdown"), dict), filename,
+           "table2 must embed a non-null 'breakdown' object")
+
+
 def check_breakdown(bd, path):
     if bd is None:
         return
@@ -197,6 +234,8 @@ def check_file(filename):
         check_cm_failover_chaos(doc, filename)
     if doc["bench"] == "scrub_chaos":
         check_scrub_chaos(doc, filename)
+    if doc["bench"] == "bench_table2_log_micro":
+        check_table2(doc, filename)
     if "breakdown" in doc:
         check_breakdown(doc["breakdown"], f"{filename}.breakdown")
     if "trace_spans" in doc:

@@ -49,6 +49,11 @@ AStoreClient::AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
   cm_failovers_ = reg.GetCounter("astore.client.cm_failovers");
   corrupt_reads_ = reg.GetCounter("astore.client.corrupt_reads");
   read_repairs_ = reg.GetCounter("astore.repair.read_repairs");
+  ring_doorbells_ = reg.GetCounter("ring.doorbells");
+  doorbell_batch_ = reg.GetHistogram("ring.doorbell_batch");
+  coalesced_appends_ = reg.GetCounter("astore.client.coalesced_appends");
+  append_ring_ =
+      std::make_unique<AppendRing>(this, options_.append_ring);
 }
 
 void AStoreClient::SetCmEndpoints(std::vector<sim::SimNode*> endpoints) {
@@ -234,10 +239,15 @@ Status AStoreClient::Append(const SegmentHandlePtr& handle, Slice data,
     vedb::MutexLock lk(&handle->mu_);
     if (handle->stale_) return Status::Stale("segment route is stale");
     if (handle->frozen_) return Status::Unavailable("segment frozen");
+    // A record bigger than the whole segment is a caller bug, not a
+    // capacity condition: NoSpace tells callers "open a fresh segment and
+    // retry", which would loop forever on an impossible payload.
+    if (data.size() > handle->route_.size) {
+      return Status::InvalidArgument("record larger than the segment");
+    }
     // Subtraction form: `write_offset_ + data.size()` wraps for sizes near
     // UINT64_MAX and would bypass the capacity check.
-    if (data.size() > handle->route_.size ||
-        handle->write_offset_ > handle->route_.size - data.size()) {
+    if (handle->write_offset_ > handle->route_.size - data.size()) {
       return Status::NoSpace("segment full");
     }
     offset = handle->write_offset_;
@@ -246,6 +256,198 @@ Status AStoreClient::Append(const SegmentHandlePtr& handle, Slice data,
   Status s = WriteWithRecovery(handle, offset, data, "append");
   if (s.ok() && offset_out != nullptr) *offset_out = offset;
   return s;
+}
+
+Result<AStoreClient::AppendToken> AStoreClient::AppendAsync(
+    const SegmentHandlePtr& handle, Slice data, uint64_t* offset_out) {
+  // Admission first (as in Append); the ticket then rides inside the ring
+  // entry so the tenant's in-flight accounting spans the async lifetime.
+  qos::Ticket ticket;
+  if (options_.admission != nullptr) {
+    VEDB_ASSIGN_OR_RETURN(
+        ticket, options_.admission->Admit(options_.tenant, data.size()));
+  }
+  uint64_t offset;
+  {
+    vedb::MutexLock lk(&handle->mu_);
+    if (handle->stale_) return Status::Stale("segment route is stale");
+    if (handle->frozen_) return Status::Unavailable("segment frozen");
+    if (data.size() > handle->route_.size) {
+      return Status::InvalidArgument("record larger than the segment");
+    }
+    if (handle->write_offset_ > handle->route_.size - data.size()) {
+      return Status::NoSpace("segment full");
+    }
+    offset = handle->write_offset_;
+    handle->write_offset_ += data.size();
+  }
+  if (offset_out != nullptr) *offset_out = offset;
+  std::vector<RecordPiece> pieces(1);
+  pieces[0].offset = offset;
+  pieces[0].data = data;
+  return append_ring_->Submit(handle, std::move(pieces), std::move(ticket));
+}
+
+Status AStoreClient::WaitAppend(AppendToken token) {
+  return append_ring_->Wait(token);
+}
+
+Status AStoreClient::WriteRecordGroup(
+    const SegmentHandlePtr& handle,
+    const std::vector<const std::vector<RecordPiece>*>& records) {
+  {
+    vedb::MutexLock lk(&handle->mu_);
+    if (handle->stale_) return Status::Stale("segment route is stale");
+    if (handle->frozen_) return Status::Unavailable("segment frozen");
+  }
+  Status s = PostRecordGroup(handle, records);
+  const RetryPolicy& rp = options_.retry;
+  if (s.ok() || !rp.enabled) return s;
+  // Same recovery protocol as WriteWithRecovery: the failed group's poster
+  // owns repair — refresh the route, re-post the identical bytes at the
+  // identical offsets (bypassing the frozen gate), un-freeze on success.
+  const Timestamp deadline =
+      rp.op_deadline == 0 ? 0 : env_->clock()->Now() + rp.op_deadline;
+  for (int attempt = 1; attempt < rp.max_attempts; ++attempt) {
+    if (!Retriable(s)) return s;
+    if (handle->stale()) return s;
+    const Timestamp now = env_->clock()->Now();
+    if (deadline != 0 && now >= deadline) return s;
+    CountRetry("append_group", s);
+    Timestamp wake = now + BackoffDelay(attempt);
+    if (deadline != 0 && wake > deadline) wake = deadline;
+    env_->clock()->SleepUntil(wake);
+    // discard-ok: an unreachable CM keeps the cached route; retry proceeds.
+    (void)RefreshRoute(handle);
+    if (handle->stale()) return Status::Stale("segment route is stale");
+    s = PostRecordGroup(handle, records);
+    if (s.ok()) {
+      vedb::MutexLock lk(&handle->mu_);
+      if (handle->frozen_ && !handle->stale_) {
+        handle->frozen_ = false;
+        unfreezes_->Add(1);
+      }
+    }
+  }
+  return s;
+}
+
+Status AStoreClient::PostRecordGroup(
+    const SegmentHandlePtr& handle,
+    const std::vector<const std::vector<RecordPiece>*>& records) {
+  if (options_.enforce_lease && !LeaseValid()) {
+    return Status::LeaseExpired("client lease expired");
+  }
+  Status injected = env_->faults()->MaybeFail("astore.client.write");
+  if (!injected.ok()) {
+    vedb::MutexLock lk(&handle->mu_);
+    handle->frozen_ = true;
+    handle->frozen_epoch_ = handle->route_.epoch;
+    return injected;
+  }
+
+  const Timestamp t0 = env_->clock()->Now();
+  obs::SpanScope span(obs::Tracer::Global(), "astore.client.write");
+  span.AddTag("segment", std::to_string(handle->id()));
+  span.AddTag("batch", std::to_string(records.size()));
+
+  // Batched SDK cost: per-record WR assembly plus ONE doorbell/CQ reap for
+  // the whole group — this replaces N copies of write_sdk_overhead, which
+  // is where the Table-2 client_ns share collapses.
+  client_node_->cpu()->Access(
+      0, options_.append_ring.submit_overhead *
+                 static_cast<Duration>(records.size()) +
+             options_.append_ring.completion_overhead);
+  const Timestamp sdk_done = env_->clock()->Now();
+
+  SegmentRoute route = handle->route();
+
+  // One io-meta covering the group's full extent: after a failure the
+  // effective length discovery only needs the furthest persisted byte.
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  uint64_t bytes = 0;
+  for (const auto* rec : records) {
+    for (const RecordPiece& p : *rec) {
+      lo = std::min(lo, p.offset);
+      hi = std::max(hi, p.offset + p.data.size());
+      bytes += p.data.size();
+    }
+  }
+  std::string io_meta;
+  PutFixed64(&io_meta, lo);
+  PutFixed64(&io_meta, hi - lo);
+
+  // One chain per replica: every record's WRs in submission order, then
+  // WRITE io-meta, then one flush READ covering them all. WR order inside
+  // the chain is the crash-ordering contract: a torn chain applies a
+  // prefix, so a record is only ever torn *after* all earlier records.
+  std::vector<std::vector<net::RdmaWorkRequest>> chains;
+  chains.reserve(route.replicas.size());
+  for (const auto& loc : route.replicas) {
+    net::ChainBuilder builder(loc.region);
+    for (const auto* rec : records) {
+      for (const RecordPiece& p : *rec) {
+        builder.Write(loc.base_offset + p.offset, p.data);
+      }
+    }
+    builder.Write(loc.io_meta_offset, Slice(io_meta));
+    builder.FlushRead(loc.io_meta_offset);
+    chains.push_back(builder.Take());
+  }
+
+  std::vector<net::ChainBreakdown> breakdowns;
+  auto statuses = fabric_->PostChainMulti(client_node_, chains, &breakdowns);
+  for (const Status& st : statuses) {
+    if (!st.ok()) {
+      vedb::MutexLock lk(&handle->mu_);
+      handle->frozen_ = true;
+      handle->frozen_epoch_ = handle->route_.epoch;
+      return st;
+    }
+  }
+
+  writes_->Add(records.size());
+  write_bytes_->Add(bytes);
+  write_ns_->Observe(env_->clock()->Now() - t0);
+  ring_doorbells_->Add(1);
+  doorbell_batch_->Observe(records.size());
+  if (records.size() > 1) coalesced_appends_->Add(records.size());
+
+  // Table 2-style breakdown of the critical chain, tiling [t0, end] (see
+  // WriteInternal). With batching the client part is amortized: one
+  // doorbell + the batched SDK cost covers every record in the group.
+  if (obs::Tracer* tracer = obs::Tracer::Global();
+      tracer != nullptr && span.active() && !breakdowns.empty()) {
+    const net::ChainBreakdown* crit = &breakdowns[0];
+    for (const auto& bd : breakdowns) {
+      if (bd.end > crit->end) crit = &bd;
+    }
+    const Timestamp c1 = sdk_done + crit->client;
+    const Timestamp c2 = c1 + crit->network;
+    const Timestamp c3 = c2 + crit->server;
+    tracer->AddSpan("breakdown.client", span.context(), t0, c1);
+    tracer->AddSpan("breakdown.network", span.context(), c1, c2);
+    tracer->AddSpan("breakdown.server", span.context(), c2, c3);
+    tracer->AddSpan("breakdown.pmem_flush", span.context(), c3, crit->end);
+  }
+
+  // Ack ordering: every record's bytes and the io-meta must be in the
+  // persistence domain on every replica before any token resolves OK —
+  // this is what keeps doorbell coalescing safe under the PersistChecker.
+  for (const auto& loc : route.replicas) {
+    for (const auto* rec : records) {
+      for (const RecordPiece& p : *rec) {
+        VEDB_RETURN_IF_ERROR(fabric_->VerifyPersisted(
+            loc.region, loc.base_offset + p.offset, p.data.size(),
+            "astore.client.ack/payload"));
+      }
+    }
+    VEDB_RETURN_IF_ERROR(fabric_->VerifyPersisted(
+        loc.region, loc.io_meta_offset, io_meta.size(),
+        "astore.client.ack/io_meta"));
+  }
+  return Status::OK();
 }
 
 Status AStoreClient::WriteAt(const SegmentHandlePtr& handle, uint64_t offset,

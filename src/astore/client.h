@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "astore/append_ring.h"
 #include "astore/segment.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -153,6 +154,9 @@ class AStoreClient {
     qos::AdmissionController* admission = nullptr;
     /// Tenant name charged by `admission`; must be registered there.
     std::string tenant;
+    /// Doorbell coalescing + batched-post costs for the async append path
+    /// (see astore/append_ring.h).
+    AppendRingOptions append_ring;
   };
 
   AStoreClient(sim::SimEnvironment* env, net::RpcTransport* rpc,
@@ -189,6 +193,34 @@ class AStoreClient {
   /// Returns the start offset via `offset_out`.
   Status Append(const SegmentHandlePtr& handle, Slice data,
                 uint64_t* offset_out);
+
+  using AppendToken = AppendRing::Token;
+
+  /// Async append: reserves the cursor immediately (the record's offset is
+  /// returned via `offset_out` at submission, not completion) and enqueues
+  /// the record on the doorbell coalescer. The caller keeps `data` alive
+  /// until WaitAppend(token) returns; completions resolve in submission
+  /// order. Independent callers' records that land on the same segment are
+  /// posted as one chained-WR doorbell.
+  Result<AppendToken> AppendAsync(const SegmentHandlePtr& handle, Slice data,
+                                  uint64_t* offset_out = nullptr);
+
+  /// Blocks until the async append's doorbell resolves; returns the
+  /// record's durability status. Same recovery semantics as Append.
+  Status WaitAppend(AppendToken token);
+
+  /// The client's submission/completion ring. Callers that frame their own
+  /// records (SegmentRing) submit pieces directly.
+  AppendRing* append_ring() { return append_ring_.get(); }
+
+  /// Posts a group of framed records against one segment as a single
+  /// chained-WR doorbell per replica (one doorbell_cost + one flush READ
+  /// amortized over the group), with the same transparent recovery as
+  /// Append. Called by the AppendRing's flush leader; `records` are borrowed
+  /// piece lists that must stay alive for the call.
+  Status WriteRecordGroup(
+      const SegmentHandlePtr& handle,
+      const std::vector<const std::vector<RecordPiece>*>& records);
 
   /// Writes `data` at an explicit offset (used for SegmentRing headers and
   /// EBP slot placement). Subject to the same lease/freeze checks and the
@@ -263,6 +295,7 @@ class AStoreClient {
   void Shutdown() { shutdown_.store(true); }
 
   ClientId client_id() const { return client_id_; }
+  const Options& options() const { return options_; }
   sim::SimNode* node() { return client_node_; }
   net::RpcTransport* rpc() { return rpc_; }
   sim::SimEnvironment* env() { return env_; }
@@ -272,6 +305,12 @@ class AStoreClient {
                        Slice data);
   Status WriteWithRecovery(const SegmentHandlePtr& handle, uint64_t offset,
                            Slice data, const char* op);
+  /// One batched fan-out attempt for WriteRecordGroup (the group analogue
+  /// of WriteInternal): per-replica chain of all record WRs + one io-meta
+  /// WR + one flush READ.
+  Status PostRecordGroup(
+      const SegmentHandlePtr& handle,
+      const std::vector<const std::vector<RecordPiece>*>& records);
   Status ReadWithRecovery(const SegmentHandlePtr& handle, uint64_t offset,
                           uint64_t len, char* out,
                           const ReadOptions& read_opts);
@@ -341,6 +380,12 @@ class AStoreClient {
   obs::Counter* cm_failovers_ = nullptr;
   obs::Counter* corrupt_reads_ = nullptr;
   obs::Counter* read_repairs_ = nullptr;
+  obs::Counter* ring_doorbells_ = nullptr;
+  obs::HistogramMetric* doorbell_batch_ = nullptr;
+  obs::Counter* coalesced_appends_ = nullptr;
+
+  // Declared last: the ring's constructor reads env_ through this client.
+  std::unique_ptr<AppendRing> append_ring_;
 };
 
 }  // namespace vedb::astore

@@ -1,0 +1,75 @@
+// Packed log-record framing for the SegmentRing (FluidKV-style fixed-size
+// log entry headers). A record on PMem is
+//
+//   [u32 payload_len][u64 lsn][u32 masked crc][payload ...]
+//    \------------- 16-byte packed header -------------/
+//
+// The CRC covers the first 12 header bytes (len + lsn) and then the payload,
+// computed incrementally — the header is encoded on the caller's stack and
+// the payload is CRC'd in place, so framing a record allocates nothing and
+// never copies the payload. Header and payload ship to every replica as two
+// chained RDMA WRs (see AppendRing); the 16-byte header keeps the payload
+// cacheline-aligned whenever the reservation offset is.
+//
+// The CRC trailing the *header* (not the payload, as the old framing did)
+// is what makes zero-copy possible: the header WR is fully determined
+// before any byte of the payload is touched.
+
+#ifndef VEDB_ASTORE_FRAME_H_
+#define VEDB_ASTORE_FRAME_H_
+
+#include <cstdint>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/slice.h"
+
+namespace vedb::astore {
+
+struct PackedFrame {
+  /// Fixed header size; also the frame overhead per record.
+  static constexpr uint64_t kHeaderSize = 16;
+  /// Byte offset of the payload within a frame.
+  static constexpr uint64_t kPayloadOffset = kHeaderSize;
+
+  uint32_t payload_len = 0;
+  uint64_t lsn = 0;
+
+  /// CRC of a frame: the 12-byte len+lsn prefix extended over the payload.
+  /// `hdr12` must point at the encoded prefix (12 bytes valid).
+  static uint32_t ComputeCrc(const char* hdr12, Slice payload) {
+    uint32_t crc = Crc32c(0, hdr12, 12);
+    return Crc32c(crc, payload.data(), payload.size());
+  }
+
+  /// Encodes the 16-byte header for (`lsn`, `payload`) into `out`
+  /// (kHeaderSize bytes, caller-owned — typically stack or a pinned
+  /// PendingCommit buffer). No allocation, payload untouched.
+  static void EncodeHeader(char* out, uint64_t lsn, Slice payload) {
+    EncodeFixed32(out, static_cast<uint32_t>(payload.size()));
+    EncodeFixed64(out + 4, lsn);
+    EncodeFixed32(out + 12, MaskCrc(ComputeCrc(out, payload)));
+  }
+
+  /// Decodes a header from `in` (at least kHeaderSize bytes). Does NOT
+  /// validate the CRC — the payload is needed for that; use VerifyCrc once
+  /// the payload bytes are at hand.
+  static PackedFrame DecodeHeader(const char* in) {
+    PackedFrame f;
+    f.payload_len = DecodeFixed32(in);
+    f.lsn = DecodeFixed64(in + 4);
+    return f;
+  }
+
+  /// Validates a full frame laid out contiguously at `in`: header at 0,
+  /// payload at kPayloadOffset (`payload_len` bytes, already bounds-checked
+  /// by the caller).
+  static bool VerifyCrc(const char* in, uint32_t payload_len) {
+    const uint32_t stored = UnmaskCrc(DecodeFixed32(in + 12));
+    return stored == ComputeCrc(in, Slice(in + kPayloadOffset, payload_len));
+  }
+};
+
+}  // namespace vedb::astore
+
+#endif  // VEDB_ASTORE_FRAME_H_

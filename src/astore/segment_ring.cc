@@ -45,17 +45,6 @@ bool SegmentRing::DecodeHeader(Slice in, SegmentStatus* status,
   return true;
 }
 
-std::string SegmentRing::FrameRecord(uint64_t lsn, Slice payload) {
-  // [u32 payload_len][u64 lsn][payload][u32 masked crc(lsn+payload)]
-  std::string f;
-  PutFixed32(&f, static_cast<uint32_t>(payload.size()));
-  PutFixed64(&f, lsn);
-  f.append(payload.data(), payload.size());
-  const uint32_t crc = Crc32c(0, f.data() + 4, 8 + payload.size());
-  PutFixed32(&f, MaskCrc(crc));
-  return f;
-}
-
 Result<std::unique_ptr<SegmentRing>> SegmentRing::Create(
     AStoreClient* client, const Options& options) {
   std::vector<SegmentHandlePtr> segments;
@@ -122,8 +111,13 @@ Result<SegmentRing::Reservation> SegmentRing::Reserve(uint64_t lsn,
   if (payload_size == 0) {
     return Status::InvalidArgument("zero-length record");
   }
-  const size_t frame_size = payload_size + 16;  // len + lsn + crc framing
-  if (frame_size > options_.segment_size - kHeaderSize) {
+  const size_t frame_size = payload_size + PackedFrame::kHeaderSize;
+  // `>=`, not `>`: a frame that exactly fills the data area would wrap the
+  // ring on EVERY append — one segment per record defeats both coalescing
+  // and retention, and TrimBefore's replacement path re-stamps fresh
+  // headers without re-validating record sizes, so this boundary is the
+  // only gate.
+  if (frame_size >= options_.segment_size - kHeaderSize) {
     return Status::InvalidArgument("record larger than a segment");
   }
   Reservation r;
@@ -214,38 +208,78 @@ Result<int> SegmentRing::TrimBefore(uint64_t trim_lsn) {
   return freed;
 }
 
-Status SegmentRing::CommitReserved(const Reservation& reservation,
-                                   uint64_t lsn, Slice payload) {
-  const std::string frame = FrameRecord(lsn, payload);
-  VEDB_CHECK(frame.size() == reservation.frame_size,
-             "reservation size mismatch");
-
-  if (reservation.to_mark_full != nullptr) {
-    // discard-ok: best effort; a lingering "in-use" status is tolerated by
-    // recovery.
-    (void)client_->WriteAt(
-        reservation.to_mark_full, 0,
-        EncodeHeader(SegmentStatus::kFull, reservation.full_start_lsn));
+Result<SegmentRing::PendingCommitPtr> SegmentRing::SubmitReserved(
+    const Reservation& reservation, uint64_t lsn, Slice payload) {
+  VEDB_CHECK(
+      reservation.frame_size == payload.size() + PackedFrame::kHeaderSize,
+      "reservation size mismatch");
+  // QoS admission for the framed bytes, strictly before any astore lock
+  // (this is what the old WriteAt-based path charged per record; the
+  // batched path must not silently unmeter topic producers). The ticket
+  // rides inside the ring entry so in-flight accounting spans the async
+  // lifetime.
+  qos::Ticket ticket;
+  if (client_->options().admission != nullptr) {
+    VEDB_ASSIGN_OR_RETURN(
+        ticket, client_->options().admission->Admit(
+                    client_->options().tenant, reservation.frame_size));
   }
 
-  const SegmentHandlePtr& seg = reservation.seg;
+  auto pending = std::make_unique<PendingCommit>();
+  pending->reservation = reservation;
+  pending->lsn = lsn;
+  pending->begin = client_->env()->clock()->Now();
+  PackedFrame::EncodeHeader(pending->frame_header, lsn, payload);
 
-  Status s;
+  // Crash-ordering contract (torn chains apply a strict WR prefix): the
+  // kInUse header precedes the frame — a record must never exist in a
+  // segment whose header does not route recovery to it — and the frame
+  // header precedes the payload, so a torn record fails its CRC.
+  std::vector<RecordPiece> pieces;
+  pieces.reserve(3);
   if (reservation.init_header) {
-    s = client_->WriteAt(seg, 0, EncodeHeader(SegmentStatus::kInUse, lsn));
-    if (!s.ok() && !s.IsUnavailable() && !s.IsStale()) return s;
+    pending->init_header = EncodeHeader(SegmentStatus::kInUse, lsn);
+    pieces.push_back(RecordPiece{0, Slice(pending->init_header)});
   }
+  pieces.push_back(RecordPiece{
+      reservation.offset,
+      Slice(pending->frame_header, PackedFrame::kHeaderSize)});
+  pieces.push_back(
+      RecordPiece{reservation.offset + PackedFrame::kPayloadOffset, payload});
+  VEDB_ASSIGN_OR_RETURN(
+      pending->token,
+      client_->append_ring()->Submit(reservation.seg, std::move(pieces),
+                                     std::move(ticket)));
+  return pending;
+}
+
+Status SegmentRing::WaitCommit(PendingCommitPtr pending) {
+  VEDB_CHECK(pending != nullptr, "WaitCommit on a null pending commit");
+  Status s = client_->append_ring()->Wait(pending->token);
+  const Reservation& reservation = pending->reservation;
+  const SegmentHandlePtr& seg = reservation.seg;
   if (s.ok()) {
-    s = client_->WriteAt(seg, reservation.offset, Slice(frame));
-    if (s.ok()) {
-      // Commit point: the LSN becomes visible as durable once we return
-      // OK, so the frame must be in the persistence domain on every
-      // replica. This is logstore's commit-path persist-ordering check.
-      return client_->VerifyPersisted(seg, reservation.offset, frame.size(),
-                                      "logstore.commit");
+    // Commit point: the LSN becomes visible as durable once we return OK,
+    // so the frame must be in the persistence domain on every replica.
+    // This is logstore's commit-path persist-ordering check.
+    VEDB_RETURN_IF_ERROR(client_->VerifyPersisted(
+        seg, reservation.offset, reservation.frame_size, "logstore.commit"));
+    if (reservation.to_mark_full != nullptr) {
+      // Stamped strictly AFTER the wrapping record is durable. The old
+      // path stamped first, so a crash between the stamp and the record
+      // marked a segment kFull while its successor held nothing — under
+      // doorbell coalescing that window covers the whole batch.
+      // discard-ok: best effort; a lingering "in-use" status is tolerated
+      // by recovery.
+      (void)client_->WriteAt(
+          reservation.to_mark_full, 0,
+          EncodeHeader(SegmentStatus::kFull, reservation.full_start_lsn));
     }
-    if (!s.IsUnavailable() && !s.IsStale()) return s;
+    appends_->Add(1);
+    append_ns_->Observe(client_->env()->clock()->Now() - pending->begin);
+    return s;
   }
+  if (!s.IsUnavailable() && !s.IsStale()) return s;
 
   // Freeze-and-reopen (Section V-E): swap the broken slot for a fresh
   // segment, then have the caller retry through the normal reserve+commit
@@ -257,7 +291,7 @@ Status SegmentRing::CommitReserved(const Reservation& reservation,
   {
     vedb::MutexLock lk(&mu_);
     sim::RaceAnnotate(&segments_, sizeof(segments_), /*is_write=*/false,
-                      "SegmentRing::CommitReserved");
+                      "SegmentRing::WaitCommit");
     auto it = std::find(segments_.begin(), segments_.end(), seg);
     if (it != segments_.end()) {
       found = true;
@@ -270,19 +304,19 @@ Status SegmentRing::CommitReserved(const Reservation& reservation,
   return Status::Busy("segment replaced; retry the append");
 }
 
+Status SegmentRing::CommitReserved(const Reservation& reservation,
+                                   uint64_t lsn, Slice payload) {
+  VEDB_ASSIGN_OR_RETURN(PendingCommitPtr pending,
+                        SubmitReserved(reservation, lsn, payload));
+  return WaitCommit(std::move(pending));
+}
+
 Status SegmentRing::AppendRecord(uint64_t lsn, Slice payload) {
-  const Timestamp begin = client_->env()->clock()->Now();
   Status s;
   for (int attempt = 0; attempt < 3; ++attempt) {
     VEDB_ASSIGN_OR_RETURN(Reservation r, Reserve(lsn, payload.size()));
     s = CommitReserved(r, lsn, payload);
-    if (!s.IsBusy()) {
-      if (s.ok()) {
-        appends_->Add(1);
-        append_ns_->Observe(client_->env()->clock()->Now() - begin);
-      }
-      return s;
-    }
+    if (!s.IsBusy()) return s;
   }
   return Status::Unavailable("log append failed after segment replacements");
 }
@@ -304,18 +338,21 @@ ParsedFrames ParseFrames(Slice buf, uint64_t from_lsn, uint64_t start_lsn,
   uint64_t prev_lsn = 0;
   uint64_t offset = SegmentRing::kHeaderSize;  // frame offset in the segment
   Slice in = buf;
-  while (in.size() >= 16) {
-    const uint32_t len = DecodeFixed32(in.data());
-    if (len > in.size() - 16) break;  // torn or past end
-    const uint64_t lsn = DecodeFixed64(in.data() + 4);
-    const uint32_t stored = UnmaskCrc(DecodeFixed32(in.data() + 12 + len));
-    const uint32_t actual = Crc32c(0, in.data() + 4, 8 + len);
-    if (stored != actual) break;  // invalid frame: prefix ends here
+  while (in.size() >= PackedFrame::kHeaderSize) {
+    const PackedFrame f = PackedFrame::DecodeHeader(in.data());
+    const uint32_t len = f.payload_len;
+    // Zero length is the end-of-durable-log sentinel (never-written PMem);
+    // Reserve rejects zero-length records, so no valid frame encodes it.
+    if (len == 0) break;
+    if (len > in.size() - PackedFrame::kHeaderSize) break;  // torn/past end
+    if (!PackedFrame::VerifyCrc(in.data(), len)) break;  // prefix ends here
+    const uint64_t lsn = f.lsn;
     // Guard against remnants of a previous ring lap: records must start at
     // the header's start LSN and stay strictly ascending.
     if (lsn < start_lsn || (prev_lsn != 0 && lsn <= prev_lsn)) break;
     if (lsn >= from_lsn && out != nullptr) {
-      out->push_back(LogRecord{lsn, std::string(in.data() + 12, len)});
+      out->push_back(LogRecord{
+          lsn, std::string(in.data() + PackedFrame::kPayloadOffset, len)});
       if (locs != nullptr) {
         locs->push_back(
             SegmentRing::RecordLocation{lsn, seg_id, offset, len});
@@ -323,8 +360,8 @@ ParsedFrames ParseFrames(Slice buf, uint64_t from_lsn, uint64_t start_lsn,
     }
     prev_lsn = lsn;
     p.next_lsn = lsn + 1;
-    offset += 16 + len;
-    in.RemovePrefix(16 + len);
+    offset += PackedFrame::kHeaderSize + len;
+    in.RemovePrefix(PackedFrame::kHeaderSize + len);
   }
   p.valid_end = offset;
   return p;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "astore/client.h"
+#include "astore/frame.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -85,9 +86,41 @@ class SegmentRing {
   /// still-occupied slot returns NoSpace and leaves the cursor untouched.
   Result<Reservation> Reserve(uint64_t lsn, size_t payload_size);
 
-  /// Performs the reserved write (header stamps + framed record). Durable
-  /// on all replicas when it returns OK. On replica failure the broken
-  /// segment is replaced and the record retried once on a fresh segment.
+  /// In-flight state of one submitted record between SubmitReserved and
+  /// WaitCommit. Heap-held (unique_ptr): the submitted pieces reference
+  /// `init_header` and `frame_header` by address, so the object must not
+  /// move until the token resolves.
+  struct PendingCommit {
+    Reservation reservation;
+    uint64_t lsn = 0;
+    Timestamp begin = 0;
+    AppendRing::Token token = 0;
+    std::string init_header;
+    char frame_header[PackedFrame::kHeaderSize];
+  };
+  using PendingCommitPtr = std::unique_ptr<PendingCommit>;
+
+  /// Frames the record in place (PackedFrame: 16-byte header encoded into
+  /// the pending object, payload never copied) and submits it to the
+  /// client's doorbell coalescer: the segment's kInUse header (when this is
+  /// the slot's first record), the frame header, and the payload become
+  /// chained WRs, in that crash-safe order. QoS admission for the frame
+  /// bytes happens here (before any astore lock). `payload` must stay
+  /// alive until WaitCommit returns.
+  Result<PendingCommitPtr> SubmitReserved(const Reservation& reservation,
+                                          uint64_t lsn, Slice payload);
+
+  /// Parks on the record's completion token. OK means durable on all
+  /// replicas (persist-checked); only then is the predecessor segment
+  /// stamped kFull — never before the record exists, so a crash between
+  /// the two leaves a lingering kInUse, not a premature kFull. On replica
+  /// failure the broken slot is replaced and Busy tells the caller to
+  /// re-reserve.
+  Status WaitCommit(PendingCommitPtr pending);
+
+  /// SubmitReserved + WaitCommit in one call. With concurrent committers
+  /// the records still coalesce: every caller parked in WaitCommit is a
+  /// candidate flush leader for the whole queue.
   Status CommitReserved(const Reservation& reservation, uint64_t lsn,
                         Slice payload);
 
@@ -152,7 +185,6 @@ class SegmentRing {
   static std::string EncodeHeader(SegmentStatus status, uint64_t start_lsn);
   static bool DecodeHeader(Slice in, SegmentStatus* status,
                            uint64_t* start_lsn);
-  static std::string FrameRecord(uint64_t lsn, Slice payload);
 
   /// Scans one segment's records, appending those with lsn >= from_lsn
   /// (and their physical locations when `locs` is non-null).

@@ -53,9 +53,11 @@ void DurabilityWatermark::WaitDurable(uint64_t lsn) {
 }
 
 
-Status GroupCommitter::Submit(Item item) {
+Status GroupCommitter::Submit(Item item, Duration wait_timeout) {
   const uint64_t first = item.first_lsn;
   const uint64_t last = item.last_lsn;
+  const Timestamp deadline =
+      wait_timeout == 0 ? 0 : clock_->Now() + wait_timeout;
   vedb::MutexLock lk(&mu_);
   pending_.push_back(std::move(item));
   while (true) {
@@ -66,6 +68,12 @@ Status GroupCommitter::Submit(Item item) {
       return s;
     }
     if (watermark_->durable_lsn() >= last) return Status::OK();
+    if (deadline != 0 && clock_->Now() >= deadline) {
+      // Giving up, not cancelling: the item stays queued and the next
+      // leader flushes it — outcome unknown to this caller. Item::pin is
+      // what keeps the abandoned payload bytes valid through that flush.
+      return Status::TimedOut("group commit wait timed out");
+    }
     if (!flushing_ && !pending_.empty()) {
       // Become the leader: flush everything queued so far as one write.
       flushing_ = true;
@@ -97,17 +105,28 @@ Status GroupCommitter::Submit(Item item) {
       continue;
     }
     // Follower: wait for the in-flight flush to finish, then re-check.
-    cond_.Wait(&mu_, [&] { return !flushing_; });
+    if (deadline == 0) {
+      cond_.Wait(&mu_, [&] { return !flushing_; });
+    } else if (!cond_.WaitUntil(&mu_, deadline, [&] { return !flushing_; })) {
+      return Status::TimedOut("group commit wait timed out");
+    }
   }
 }
 
-std::string EncodeBatchPayload(const std::vector<std::string>& payloads) {
+std::string EncodeBatchPayload(const std::vector<Slice>& payloads) {
   std::string out;
   PutVarint32(&out, static_cast<uint32_t>(payloads.size()));
-  for (const std::string& p : payloads) {
-    PutLengthPrefixedSlice(&out, Slice(p));
+  for (const Slice& p : payloads) {
+    PutLengthPrefixedSlice(&out, p);
   }
   return out;
+}
+
+std::string EncodeBatchPayload(const std::vector<std::string>& payloads) {
+  std::vector<Slice> views;
+  views.reserve(payloads.size());
+  for (const std::string& p : payloads) views.emplace_back(p);
+  return EncodeBatchPayload(views);
 }
 
 bool DecodeBatchPayload(Slice in, uint64_t first_lsn,
@@ -152,7 +171,12 @@ Result<AppendResult> BlobLogStore::AppendBatch(
       hooks->on_assigned(item.first_lsn, item.last_lsn);
     }
   }
-  item.payloads = payloads;
+  // One copy, into the pin: the committer and the flush path then work on
+  // Slices over these bytes, which outlive any timed-out waiter.
+  auto pinned = std::make_shared<const std::vector<std::string>>(payloads);
+  item.payloads.reserve(pinned->size());
+  for (const std::string& p : *pinned) item.payloads.emplace_back(p);
+  item.pin = std::move(pinned);
   if (hooks != nullptr) item.on_failed = hooks->on_failed;
   const AppendResult result{item.first_lsn, item.last_lsn};
   VEDB_RETURN_IF_ERROR(committer_.Submit(std::move(item)));
@@ -175,10 +199,11 @@ Status BlobLogStore::FlushGroup(const std::vector<GroupCommitter::Item>& items) 
   client_->cpu()->Access(0, options_.submit_overhead);
   env_->clock()->SleepFor(sched_delay);
 
-  // Frame the whole group as one record keyed by its first LSN.
-  std::vector<std::string> flat;
+  // Frame the whole group as one record keyed by its first LSN. The items'
+  // payloads are borrowed views (pinned by Item::pin), never re-copied.
+  std::vector<Slice> flat;
   for (const auto& item : items) {
-    for (const auto& p : item.payloads) flat.push_back(p);
+    for (const Slice& p : item.payloads) flat.push_back(p);
   }
   const uint64_t first = items.front().first_lsn;
   const std::string body = EncodeBatchPayload(flat);
@@ -295,7 +320,12 @@ Result<AppendResult> AStoreLogStore::AppendBatch(
       hooks->on_assigned(item.first_lsn, item.last_lsn);
     }
   }
-  item.payloads = payloads;
+  // One copy, into the pin: the committer and the flush path then work on
+  // Slices over these bytes, which outlive any timed-out waiter.
+  auto pinned = std::make_shared<const std::vector<std::string>>(payloads);
+  item.payloads.reserve(pinned->size());
+  for (const std::string& p : *pinned) item.payloads.emplace_back(p);
+  item.pin = std::move(pinned);
   if (hooks != nullptr) item.on_failed = hooks->on_failed;
   const AppendResult result{item.first_lsn, item.last_lsn};
   VEDB_RETURN_IF_ERROR(committer_.Submit(std::move(item)));
@@ -306,9 +336,9 @@ Result<AppendResult> AStoreLogStore::AppendBatch(
 
 Status AStoreLogStore::FlushGroup(
     const std::vector<GroupCommitter::Item>& items) {
-  std::vector<std::string> flat;
+  std::vector<Slice> flat;
   for (const auto& item : items) {
-    for (const auto& p : item.payloads) flat.push_back(p);
+    for (const Slice& p : item.payloads) flat.push_back(p);
   }
   const uint64_t first = items.front().first_lsn;
   const std::string body = EncodeBatchPayload(flat);
@@ -316,9 +346,10 @@ Status AStoreLogStore::FlushGroup(
   flush_bytes_->Add(body.size());
   // Flushes are serialized by the single group-commit leader, so ring
   // placement naturally follows LSN order. AppendRecord owns the whole
-  // reserve/commit/replaced-segment dance (and, below it, the client's
-  // retry layer absorbs transient replica failures) — no special cases
-  // here.
+  // reserve/commit/replaced-segment dance — which now rides the client's
+  // doorbell coalescer (SubmitReserved/WaitCommit): while this leader
+  // parks on its completion token, independent producers on the same
+  // client (topics, other rings) join the same doorbell.
   return ring_->AppendRecord(first, Slice(body));
 }
 

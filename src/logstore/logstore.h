@@ -86,7 +86,13 @@ class GroupCommitter {
   struct Item {
     uint64_t first_lsn = 0;
     uint64_t last_lsn = 0;
-    std::vector<std::string> payloads;
+    /// Views of the batch payloads. The committer never copies payload
+    /// bytes: the flush reads straight through these Slices.
+    std::vector<Slice> payloads;
+    /// Keeps `payloads`' backing bytes alive until the item's group
+    /// resolves — including after a submitting waiter times out and frees
+    /// its own copy (the item may still be queued for a later leader).
+    std::shared_ptr<const std::vector<std::string>> pin;
     std::function<void(uint64_t, uint64_t)> on_failed;
   };
   /// Writes one physical record containing `items` (lsn-contiguous,
@@ -95,16 +101,21 @@ class GroupCommitter {
 
   GroupCommitter(sim::VirtualClock* clock, DurabilityWatermark* watermark,
                  FlushFn flush)
-      : cond_(clock, "group-commit"),
+      : clock_(clock),
+        cond_(clock, "group-commit"),
         watermark_(watermark),
         flush_(std::move(flush)) {}
 
   /// Enqueues the item and blocks until its range is durable (leading a
   /// flush if the pipeline is idle). Returns the flush error if this item's
-  /// group failed.
-  Status Submit(Item item);
+  /// group failed. With a non-zero `wait_timeout`, gives up after that much
+  /// virtual time with TimedOut — the item STAYS queued (outcome unknown)
+  /// and is flushed by the next leader; its payload bytes survive via
+  /// Item::pin regardless of what the caller frees.
+  Status Submit(Item item, Duration wait_timeout = 0);
 
  private:
+  sim::VirtualClock* clock_;
   vedb::Mutex mu_{"logstore.committer"};
   sim::VirtualCondition cond_;
   DurabilityWatermark* watermark_;
@@ -278,6 +289,7 @@ class AStoreLogStore : public LogStore {
 
 /// Shared batch framing: several REDO payloads packed into one physical log
 /// record. Exposed for the recovery paths of both backends.
+std::string EncodeBatchPayload(const std::vector<Slice>& payloads);
 std::string EncodeBatchPayload(const std::vector<std::string>& payloads);
 bool DecodeBatchPayload(Slice in, uint64_t first_lsn,
                         std::vector<astore::LogRecord>* out);

@@ -138,6 +138,11 @@ void RdmaFabric::RecordChainSpan(const ChainBreakdown& breakdown,
 Status RdmaFabric::ApplyChain(const std::vector<RdmaWorkRequest>& chain,
                               const std::vector<Region>& regions) {
   for (size_t i = 0; i < chain.size(); ++i) {
+    // Torn-doorbell injection point: the NIC executes chained WRs in order,
+    // so an initiator crash mid-chain leaves exactly a prefix applied. A
+    // fault armed at "rdma.apply" (skip-k to pick the WR) stops the chain
+    // here, after k WRs took effect. Free when unarmed.
+    VEDB_RETURN_IF_ERROR(env_->faults()->MaybeFail("rdma.apply"));
     const auto& wr = chain[i];
     pmem::PmemDevice* pmem = regions[i].pmem;
     if (wr.kind == RdmaWorkRequest::Kind::kWrite) {

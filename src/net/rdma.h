@@ -62,6 +62,43 @@ struct RdmaWorkRequest {
   uint64_t read_len = 0;
 };
 
+/// Incremental assembly of one chain. The doorbell coalescer builds one
+/// chain per replica with many interleaved record WRs; this keeps that
+/// call-site declarative. All WRs inherit the region the builder was made
+/// with (one chain = one queue pair = one target node).
+class ChainBuilder {
+ public:
+  explicit ChainBuilder(MemoryRegionId region) : region_(region) {}
+
+  ChainBuilder& Write(uint64_t offset, Slice data) {
+    RdmaWorkRequest wr;
+    wr.kind = RdmaWorkRequest::Kind::kWrite;
+    wr.region = region_;
+    wr.offset = offset;
+    wr.write_data = data;
+    chain_.push_back(wr);
+    return *this;
+  }
+
+  /// Flush-only READ: drains prior WRs in this chain into the target's
+  /// persistence domain (DDIO off), discarding the payload.
+  ChainBuilder& FlushRead(uint64_t offset) {
+    RdmaWorkRequest wr;
+    wr.kind = RdmaWorkRequest::Kind::kRead;
+    wr.region = region_;
+    wr.offset = offset;
+    wr.read_len = 0;
+    chain_.push_back(wr);
+    return *this;
+  }
+
+  std::vector<RdmaWorkRequest> Take() { return std::move(chain_); }
+
+ private:
+  MemoryRegionId region_;
+  std::vector<RdmaWorkRequest> chain_;
+};
+
 /// The cluster-wide RDMA network. Thread safe.
 class RdmaFabric {
  public:

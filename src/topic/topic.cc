@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "astore/frame.h"
 #include "common/coding.h"
-#include "common/crc32.h"
 #include "obs/trace.h"
 #include "sim/lock_order.h"
 #include "topic/record.h"
@@ -12,8 +12,9 @@ namespace vedb::topic {
 
 namespace {
 
-/// Framing overhead of one SegmentRing record: u32 len + u64 lsn + u32 crc.
-constexpr uint64_t kFrameOverhead = 16;
+/// Framing overhead of one SegmentRing record: the PackedFrame header
+/// (u32 len | u64 lsn | u32 masked crc), which precedes the payload.
+constexpr uint64_t kFrameOverhead = astore::PackedFrame::kHeaderSize;
 
 }  // namespace
 
@@ -129,17 +130,17 @@ Result<std::vector<Message>> Topic::Fetch(int partition, uint64_t from_lsn,
     // Self-validating read: the frame must agree with the locator byte for
     // byte, CRC included — a mismatch means the locator (or the segment)
     // is lying and the consumer must not see the payload.
-    if (DecodeFixed32(buf.data()) != loc.payload_size ||
-        DecodeFixed64(buf.data() + 4) != lsn) {
+    const astore::PackedFrame frame =
+        astore::PackedFrame::DecodeHeader(buf.data());
+    if (frame.payload_len != loc.payload_size || frame.lsn != lsn) {
       return Status::Corruption("topic record frame mismatch");
     }
-    const uint32_t stored =
-        UnmaskCrc(DecodeFixed32(buf.data() + 12 + loc.payload_size));
-    if (stored != Crc32c(0, buf.data() + 4, 8 + loc.payload_size)) {
+    if (!astore::PackedFrame::VerifyCrc(buf.data(), loc.payload_size)) {
       return Status::Corruption("topic record crc mismatch");
     }
-    out.push_back(Message{lsn, std::string(buf.data() + 12,
-                                           loc.payload_size)});
+    out.push_back(Message{
+        lsn, std::string(buf.data() + astore::PackedFrame::kPayloadOffset,
+                         loc.payload_size)});
   }
   fetches_->Add(1);
   consumed_->Add(out.size());

@@ -153,6 +153,52 @@ TEST_F(AStoreTest, ReplicaFailureFreezesSegment) {
   EXPECT_EQ(std::string(buf, 5), "first");
 }
 
+TEST_F(AStoreTest, OversizedAppendIsInvalidArgumentNotNoSpace) {
+  // Payload-granularity size gate: a record that could NEVER fit the
+  // segment is a typed InvalidArgument (caller bug), while one that merely
+  // doesn't fit the remaining space is NoSpace (roll to the next segment).
+  auto res = client_->CreateSegment(4 * kKiB, 3);
+  ASSERT_TRUE(res.ok());
+  SegmentHandlePtr seg = res.value();
+
+  const std::string too_big(4 * kKiB + 1, 'x');
+  Status s = client_->Append(seg, Slice(too_big), nullptr);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  const std::string most(3 * kKiB, 'y');
+  ASSERT_TRUE(client_->Append(seg, Slice(most), nullptr).ok());
+  const std::string rest(2 * kKiB, 'z');
+  s = client_->Append(seg, Slice(rest), nullptr);
+  EXPECT_TRUE(s.IsNoSpace()) << s.ToString();
+
+  // The async path applies the same gates at submission time.
+  s = client_->AppendAsync(seg, Slice(too_big), nullptr).status();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  s = client_->AppendAsync(seg, Slice(rest), nullptr).status();
+  EXPECT_TRUE(s.IsNoSpace()) << s.ToString();
+}
+
+TEST_F(AStoreTest, AppendAsyncRoundTrip) {
+  auto res = client_->CreateSegment(256 * kKiB, 3);
+  ASSERT_TRUE(res.ok());
+  SegmentHandlePtr seg = res.value();
+
+  uint64_t off1 = 0;
+  uint64_t off2 = 0;
+  auto t1 = client_->AppendAsync(seg, Slice("async-one"), &off1);
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+  auto t2 = client_->AppendAsync(seg, Slice("async-two"), &off2);
+  ASSERT_TRUE(t2.ok()) << t2.status().ToString();
+  EXPECT_EQ(off1, 0u);
+  EXPECT_EQ(off2, 9u);  // offsets assigned at submission, in order
+  ASSERT_TRUE(client_->WaitAppend(t1.value()).ok());
+  ASSERT_TRUE(client_->WaitAppend(t2.value()).ok());
+
+  char buf[18];
+  ASSERT_TRUE(client_->Read(seg, 0, sizeof(buf), buf).ok());
+  EXPECT_EQ(std::string(buf, sizeof(buf)), "async-oneasync-two");
+}
+
 TEST_F(AStoreTest, ReadFailsOverToLiveReplica) {
   auto res = client_->CreateSegment(256 * kKiB, 3);
   ASSERT_TRUE(res.ok());
@@ -571,6 +617,29 @@ TEST_F(SegmentRingTest, ZeroLengthAndOversizedAppendsAreRejected) {
   EXPECT_EQ(recovered->next_lsn, 2u);
   ASSERT_EQ(recovered->records.size(), 1u);
   EXPECT_EQ(recovered->records[0].payload, "ok");
+}
+
+TEST_F(SegmentRingTest, ExactFitReserveIsRejectedAtTheBoundary) {
+  // A frame that fills a segment EXACTLY (payload == segment_size -
+  // kHeaderSize - frame header) used to be accepted, wrapping the ring on
+  // every such append; the boundary is now a typed rejection (>=, not >).
+  auto ring = SegmentRing::Create(client_.get(), RingOptions());
+  ASSERT_TRUE(ring.ok());
+  const size_t exact_fit =
+      64 * kKiB - SegmentRing::kHeaderSize - PackedFrame::kHeaderSize;
+  Status s = ring.value()->Reserve(1, exact_fit).status();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  // One byte under the boundary reserves and commits normally.
+  auto r = ring.value()->Reserve(1, exact_fit - 1);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string payload(exact_fit - 1, 'm');
+  ASSERT_TRUE(ring.value()->CommitReserved(r.value(), 1, Slice(payload)).ok());
+  auto recovered = SegmentRing::Recover(client_.get(), cm_->ListSegments(1),
+                                        1, RingOptions());
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->records.size(), 1u);
+  EXPECT_EQ(recovered->records[0].payload.size(), exact_fit - 1);
 }
 
 TEST_F(SegmentRingTest, ForbidOverwriteReturnsNoSpaceUntilTrimmed) {

@@ -384,5 +384,81 @@ TEST_F(LogStoreTest, AStoreBackendCrashWithLossKeepsAckedPrefix) {
   }
 }
 
+TEST_F(LogStoreTest, TimedOutWaiterPayloadStaysPinnedThroughLaterFlush) {
+  // A waiter that times out mid-flight abandons its item in the queue; a
+  // LATER leader flushes it. The flush reads the item's payload Slices, so
+  // Item::pin must keep the bytes alive after the waiter freed every copy
+  // it owned — under ASan (the fault CI job) a missing pin is a hard
+  // use-after-free here, not a flaky read.
+  DurabilityWatermark wm(env_.clock());
+  std::vector<std::string> flushed;
+  vedb::Mutex mu{"test.flushed"};
+  GroupCommitter gc(
+      env_.clock(), &wm,
+      [&](const std::vector<GroupCommitter::Item>& items) {
+        // Slow device: long enough for the follower to give up mid-flush.
+        env_.clock()->SleepFor(10 * kMillisecond);
+        vedb::MutexLock lk(&mu);
+        for (const auto& item : items) {
+          for (const Slice& p : item.payloads) flushed.push_back(p.ToString());
+        }
+        return Status::OK();
+      });
+
+  const std::string b_payload(2048, 'b');
+  {
+    sim::ActorGroup group(env_.clock());
+    sim::VirtualClock::ExternalWaitScope wait(env_.clock());
+    group.Spawn([&] {
+      // Leader: starts the 10ms flush immediately.
+      GroupCommitter::Item item;
+      item.first_lsn = 1;
+      item.last_lsn = 1;
+      auto pin = std::make_shared<const std::vector<std::string>>(
+          std::vector<std::string>{"a-record"});
+      item.payloads.emplace_back((*pin)[0]);
+      item.pin = std::move(pin);
+      EXPECT_TRUE(gc.Submit(std::move(item)).ok());
+    });
+    group.Spawn([&] {
+      // Impatient follower: queues behind the in-flight flush, gives up
+      // after 2ms, and drops its only reference to the payload bytes.
+      env_.clock()->SleepFor(1 * kMillisecond);
+      GroupCommitter::Item item;
+      item.first_lsn = 2;
+      item.last_lsn = 2;
+      {
+        auto pin = std::make_shared<const std::vector<std::string>>(
+            std::vector<std::string>{b_payload});
+        item.payloads.emplace_back((*pin)[0]);
+        item.pin = std::move(pin);
+      }
+      Status s = gc.Submit(std::move(item), /*wait_timeout=*/2 * kMillisecond);
+      EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+    });
+    group.Spawn([&] {
+      // Patient committer: wakes when the first flush resolves, leads the
+      // second, and drags the abandoned item through with it.
+      env_.clock()->SleepFor(5 * kMillisecond);
+      GroupCommitter::Item item;
+      item.first_lsn = 3;
+      item.last_lsn = 3;
+      auto pin = std::make_shared<const std::vector<std::string>>(
+          std::vector<std::string>{"c-record"});
+      item.payloads.emplace_back((*pin)[0]);
+      item.pin = std::move(pin);
+      EXPECT_TRUE(gc.Submit(std::move(item)).ok());
+    });
+  }
+
+  // The abandoned item was flushed intact, bytes unchanged.
+  vedb::MutexLock lk(&mu);
+  ASSERT_EQ(flushed.size(), 3u);
+  EXPECT_EQ(flushed[0], "a-record");
+  EXPECT_EQ(flushed[1], b_payload);
+  EXPECT_EQ(flushed[2], "c-record");
+  EXPECT_EQ(wm.durable_lsn(), 3u);
+}
+
 }  // namespace
 }  // namespace vedb::logstore
